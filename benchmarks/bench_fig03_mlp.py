@@ -1,0 +1,52 @@
+"""Figure 3: BF16 MLP with Bias-Add and ReLU — GFLOPS and efficiency vs
+weight size (N = 512 minibatch).
+
+Paper shape: efficiency grows with weight size; SPR saturates near 37.4%
+of peak (LLC-bandwidth-bound activation handoff between layers) while
+GVT3/Zen4 exceed 90%; SPR is still up to 3.3x / 6.6x faster absolute.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import PAPER, ExperimentTable
+from repro.kernels import ParlooperMlp
+from repro.platform import GVT3, SPR, ZEN4
+from repro.tpp.dtypes import DType
+
+SIZES = [512, 1024, 2048, 4096]
+
+
+def test_fig3_mlp_efficiency(benchmark):
+    table = ExperimentTable(
+        "Fig 3 — BF16 MLP (bias+ReLU), N=512",
+        ["platform", "M=K", "GFLOPS", "efficiency"])
+    eff = {}
+    times = {}
+    for machine, threads in ((SPR, 112), (GVT3, 64), (ZEN4, 16)):
+        for mk in SIZES:
+            mlp = ParlooperMlp([mk] * 4, 512, dtype=DType.BF16,
+                               num_threads=threads)
+            res = mlp.simulate(machine)
+            e = res.gflops / machine.peak_gflops(DType.BF16)
+            table.add(machine.name, mk, res.gflops, e)
+            eff.setdefault(machine.name, []).append(e)
+            times.setdefault(machine.name, {})[mk] = res.seconds
+    table.note(f"paper: SPR eff caps at {PAPER['fig3']['spr_efficiency_max']}"
+               f", GVT3/Zen4 > {PAPER['fig3']['gvt3_efficiency_min']}")
+    spr_vs_gvt3 = times["GVT3"][4096] / times["SPR"][4096]
+    spr_vs_zen4 = times["Zen4"][4096] / times["SPR"][4096]
+    table.note(f"SPR vs GVT3 {spr_vs_gvt3:.2f}x (paper <=3.3), "
+               f"vs Zen4 {spr_vs_zen4:.2f}x (paper <=6.6)")
+    table.show()
+
+    # shape assertions: efficiency grows with size; SPR caps well below
+    # the small platforms' efficiency; SPR fastest absolute
+    for name, series in eff.items():
+        assert series[-1] >= series[0] * 0.8
+    assert max(eff["SPR"]) < min(max(eff["GVT3"]), max(eff["Zen4"]))
+    assert spr_vs_gvt3 > 1.0 and spr_vs_zen4 > 1.0
+
+    mlp = ParlooperMlp([256, 256], 128, bm=32, bn=32, bk=32, num_threads=2)
+    x = np.random.default_rng(0).standard_normal((256, 128)).astype(np.float32)
+    benchmark(lambda: mlp.forward(x))

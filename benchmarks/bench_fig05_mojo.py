@@ -1,0 +1,31 @@
+"""Figure 5: FP32 GEMM with BERT/GPT/DLRM shapes — PARLOOPER vs Mojo on
+the (modeled) Xeon 8223 / c5.4xlarge.  Paper shape: PARLOOPER wins on
+every shape with a geomean speedup of 1.35x."""
+
+import numpy as np
+
+from repro.baselines import MOJO_BLOG_GEMMS, mojo_result, parlooper_vs_mojo
+from repro.bench import PAPER, ExperimentTable
+
+
+def test_fig5_mojo_comparison(benchmark):
+    table = ExperimentTable(
+        "Fig 5 — FP32 GEMM vs Mojo (Xeon 8223, GFLOPS)",
+        ["workload", "MxNxK", "PARLOOPER", "Mojo", "speedup"])
+    ratios = []
+    for shape in MOJO_BLOG_GEMMS:
+        ours = parlooper_vs_mojo(shape)
+        mojo = mojo_result(shape)
+        r = ours.gflops / mojo.gflops
+        ratios.append(r)
+        table.add(shape.workload, f"{shape.M}x{shape.N}x{shape.K}",
+                  ours.gflops, mojo.gflops, r)
+    geomean = float(np.exp(np.mean(np.log(ratios))))
+    table.note(f"geomean speedup {geomean:.2f}x "
+               f"(paper {PAPER['fig5']['geomean_speedup']}x)")
+    table.show()
+
+    assert all(r > 1.0 for r in ratios)       # wins every shape
+    assert 1.2 < geomean < 1.5                # paper: 1.35x
+
+    benchmark(lambda: parlooper_vs_mojo(MOJO_BLOG_GEMMS[0]))

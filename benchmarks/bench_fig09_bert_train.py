@@ -1,0 +1,46 @@
+"""Figure 9: BERT-Large SQuAD fine-tuning throughput (sequences/sec),
+PARLOOPER/TPP vs TPP-only [12] vs IPEX+oneDNN vs HuggingFace on SPR,
+plus GVT3 and Zen4 with the identical code.
+
+Paper shape: PARLOOPER 1.22x over the static-loop TPP stack (43.3 vs
+35.3 seq/s), 3.3x over IPEX (no unpad optimization), more over HF;
+SPR 2.8x over GVT3 and 4.4x over Zen4 (AMX compute peak).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import PAPER, ExperimentTable
+from repro.platform import GVT3, SPR, ZEN4
+from repro.workloads import (BERT_LARGE, BertConfig, BertLayer,
+                             bert_training_performance)
+
+
+def test_fig9_bert_training(benchmark):
+    table = ExperimentTable(
+        "Fig 9 — BERT-Large SQuAD fine-tuning (sequences/sec)",
+        ["platform", "stack", "seq/s", "vs PARLOOPER"])
+    spr = {}
+    for stack in ("parlooper", "tpp_static", "ipex", "hf"):
+        spr[stack] = bert_training_performance(BERT_LARGE, SPR, stack)
+    for stack, v in spr.items():
+        table.add("SPR", stack, v, spr["parlooper"] / v)
+    gvt = bert_training_performance(BERT_LARGE, GVT3, "parlooper")
+    zen = bert_training_performance(BERT_LARGE, ZEN4, "parlooper")
+    table.add("GVT3", "parlooper", gvt, spr["parlooper"] / gvt)
+    table.add("Zen4", "parlooper", zen, spr["parlooper"] / zen)
+    table.note(f"paper: PL 43.3, TPP-only 35.3 (1.22x), IPEX 3.3x, "
+               f"SPR/GVT3 2.8x, SPR/Zen4 4.4x — {PAPER['fig9']}")
+    table.show()
+
+    assert spr["parlooper"] > spr["tpp_static"] > spr["ipex"] > spr["hf"]
+    assert 1.1 < spr["parlooper"] / spr["tpp_static"] < 1.4  # paper 1.22
+    assert 2.0 < spr["parlooper"] / spr["ipex"] < 6.5        # paper 3.3
+    assert spr["parlooper"] > gvt > zen
+
+    # functional benchmark: one tiny fused encoder layer forward
+    tiny = BertConfig("tiny", 1, 64, 4, 128, 100, 32)
+    layer = BertLayer(tiny)
+    x = np.random.default_rng(0).standard_normal(
+        (2, 16, 64)).astype(np.float32)
+    benchmark(lambda: layer(x))

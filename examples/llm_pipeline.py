@@ -1,0 +1,34 @@
+"""LLM inference pipeline (§IV-A, Fig 11): greedy decoding with a KV cache
+on a tiny functional decoder, plus first/next-token latency modeling for
+GPT-J-6B and Llama2-13B on SPR and GVT3.
+
+Run:  python examples/llm_pipeline.py
+"""
+
+from repro.platform import GVT3, SPR
+from repro.tpp.dtypes import DType
+from repro.workloads import (GPTJ_6B, LLAMA2_13B, LlmConfig, TinyDecoder,
+                             llm_inference_latency)
+
+# ---- functional: KV-cached greedy decoding ------------------------------
+tiny = LlmConfig("tiny", layers=2, hidden=32, heads=4, intermediate=64,
+                 vocab=64)
+decoder = TinyDecoder(tiny, seed=0)
+prompt = [3, 17, 42, 8]
+generated = decoder.generate(prompt, n_new=6)
+print(f"prompt {prompt} -> generated {generated[len(prompt):]}")
+
+# ---- performance: Fig 11's latency split --------------------------------
+print("\nBS=1 inference, 1024 input / 32 output tokens:")
+for machine in (SPR, GVT3):
+    for cfg in (GPTJ_6B, LLAMA2_13B):
+        bf16 = llm_inference_latency(cfg, machine, "parlooper", DType.BF16)
+        fp32 = llm_inference_latency(cfg, machine, "parlooper", DType.F32)
+        print(f"  {machine.name:5s} {cfg.name:11s} BF16: "
+              f"1st token {bf16.first_token_s * 1e3:7.1f} ms, "
+              f"next {bf16.per_next_token_s * 1e3:6.1f} ms/tok, "
+              f"total {bf16.total_s:.2f} s "
+              f"(BF16 speedup: 1st {fp32.first_token_s / bf16.first_token_s:.1f}x, "
+              f"next {fp32.per_next_token_s / bf16.per_next_token_s:.1f}x)")
+print("\npaper: BF16 accelerates the compute-bound first token ~5.7x and "
+      "the bandwidth-bound next tokens ~1.9x on SPR")

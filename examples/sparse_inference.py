@@ -1,0 +1,46 @@
+"""End-to-end block-sparse pipeline (§IV-B): train a dense model, prune it
+block-wise with distillation, export to BCSC, run Block-SpMM inference,
+and compare dense vs sparse latency on a simulated platform.
+
+Run:  python examples/sparse_inference.py
+"""
+
+import numpy as np
+
+from repro.kernels import ParlooperSpmm
+from repro.platform import SPR, ZEN4
+from repro.tpp.dtypes import DType
+from repro.workloads import (BERT_BASE, BlockPruner, DistillationTrainer,
+                             SparsitySchedule, make_synthetic_task,
+                             sparse_bert_inference, sparse_bert_roofline)
+
+# ---- 1. dense teacher -> 80% block-sparse student (8x8 blocks) ---------
+x, y = make_synthetic_task(n=512, dim=64, classes=4, seed=0)
+trainer = DistillationTrainer(BlockPruner(8, 8),
+                              SparsitySchedule(target=0.8, begin_step=20,
+                                               end_step=200))
+teacher, student = trainer.run(x, y, hidden=64, steps=300)
+print(f"dense accuracy : {teacher.accuracy(x, y):.3f}")
+print(f"sparse accuracy: {student.accuracy(x, y):.3f} "
+      "(paper: F1 88.23 -> 87.1, <1.5% drop)")
+
+# ---- 2. export the pruned weight to BCSC and run Block-SpMM -------------
+bcsc = BlockPruner(8, 8).to_bcsc(student.w1, 0.8, dtype=DType.BF16)
+print(f"\nBCSC export: {bcsc.nnz_blocks} nonzero 8x8 blocks, "
+      f"sparsity {bcsc.sparsity:.2f}")
+spmm = ParlooperSpmm(bcsc, N=64, bn=32, num_threads=2)
+batch = np.random.default_rng(1).standard_normal(
+    (64, 64)).astype(np.float32)
+out = spmm.run(batch)
+ref = bcsc.to_dense() @ batch
+print("Block-SpMM inference correct:",
+      np.allclose(out, ref, atol=0.5))
+
+# ---- 3. end-to-end sparse BERT latency on simulated platforms ----------
+print("\nblock-sparse BERT-Base inference (BS=1, 8 cores, BF16):")
+for machine in (SPR, ZEN4):
+    r = sparse_bert_inference(BERT_BASE, machine, nthreads=8)
+    print(f"  {machine.name:5s}: dense {r.dense_s * 1e3:6.1f} ms -> sparse "
+          f"{r.sparse_s * 1e3:6.1f} ms ({r.speedup:.2f}x, "
+          f"{100 * sparse_bert_roofline(r):.0f}% of the 5x-contraction "
+          "roofline)")

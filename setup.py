@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs in offline environments
+(no `wheel` package available, so PEP-660 builds are not possible)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""PARLOOPER/TPP reproduction.
+
+A from-scratch Python implementation of *"Harnessing Deep Learning and
+HPC Kernels via High-Level Loop and Tensor Abstractions on CPU
+Architectures"* (Georganas et al., IPDPS 2024):
+
+* :mod:`repro.core` — PARLOOPER: declarative logical loops + the
+  ``loop_spec_string`` knob, JIT loop-nest generation with caching;
+* :mod:`repro.tpp` — the Tensor Processing Primitives collection
+  (BRGEMM, elementwise, normalisation, Block-SpMM/BCSC, layout
+  transforms) with BF16 emulation and an ISA-aware backend;
+* :mod:`repro.platform` / :mod:`repro.simulator` — machine models of the
+  paper's testbeds and the trace-driven performance substrate (the §II-E
+  methodology, as both the lightweight Box-B3 model and the richer
+  measurement engine);
+* :mod:`repro.tuner` — the Box-B2 auto-tuning infrastructure;
+* :mod:`repro.kernels` — GEMM / MLP / convolution / Block-SpMM kernels
+  (Listings 1, 4, 5);
+* :mod:`repro.workloads` — BERT, sparse BERT, GPT-J/Llama2 inference,
+  ResNet-50, block pruning + distillation;
+* :mod:`repro.baselines` — modeled comparators (oneDNN, AOCL, TVM, Mojo,
+  HF/IPEX stacks, DeepSparse).
+"""
+
+from .core import LoopSpecs, SpecError, ThreadedLoop
+from .kernels import (ConvSpec, ParlooperConv, ParlooperGemm, ParlooperMlp,
+                      ParlooperSpmm)
+from .platform import ADL, GVT3, SPR, ZEN4, MachineModel
+from .simulator import predict, simulate
+from .tpp import BCSCMatrix, BRGemmTPP, DType, Precision, Ptr
+from .tuner import TuningConstraints, generate_candidates, search
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ThreadedLoop", "LoopSpecs", "SpecError",
+    "ParlooperGemm", "ParlooperMlp", "ParlooperConv", "ParlooperSpmm",
+    "ConvSpec",
+    "BRGemmTPP", "BCSCMatrix", "DType", "Precision", "Ptr",
+    "MachineModel", "SPR", "GVT3", "ZEN4", "ADL",
+    "simulate", "predict",
+    "TuningConstraints", "generate_candidates", "search",
+    "__version__",
+]

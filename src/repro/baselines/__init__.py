@@ -1,0 +1,19 @@
+"""Modeled comparator libraries/compilers/stacks (see DESIGN.md §2 for the
+substitution rationale of each)."""
+
+from .aocl import AoclBaseline
+from .base import BaselineResult, GemmBaseline
+from .deepsparse import DEEPSPARSE_BERT_BASE, deepsparse_result
+from .mojo import MOJO_BLOG_GEMMS, MojoShape, mojo_result, parlooper_vs_mojo
+from .onednn import OneDnnBaseline
+from .stacks import STACKS, StackModel
+from .tvm_ansor import TvmAnsorBaseline, TvmTuningReport
+
+__all__ = [
+    "BaselineResult", "GemmBaseline",
+    "OneDnnBaseline", "AoclBaseline",
+    "TvmAnsorBaseline", "TvmTuningReport",
+    "MOJO_BLOG_GEMMS", "MojoShape", "mojo_result", "parlooper_vs_mojo",
+    "DEEPSPARSE_BERT_BASE", "deepsparse_result",
+    "STACKS", "StackModel",
+]

@@ -1,0 +1,42 @@
+"""Baseline comparator framework.
+
+Each baseline models a real library/compiler *mechanistically*: it reuses
+the same kernels and simulator as the PARLOOPER path but with the
+behavioural differences the paper attributes to it (flat layouts, missing
+low-precision codegen, fixed heuristics, unfused ops).  DESIGN.md §2
+documents every substitution.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..platform.machine import MachineModel
+from ..tpp.dtypes import DType
+
+__all__ = ["BaselineResult", "GemmBaseline"]
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of one baseline measurement."""
+
+    name: str
+    seconds: float
+    gflops: float
+    detail: str = ""
+
+
+class GemmBaseline(abc.ABC):
+    """A library/compiler that can run a GEMM on a machine."""
+
+    name: str = "baseline"
+
+    @abc.abstractmethod
+    def gemm(self, machine: MachineModel, M: int, N: int, K: int,
+             dtype: DType) -> BaselineResult:
+        ...
+
+    def supports(self, machine: MachineModel, dtype: DType) -> bool:
+        return machine.supports(dtype)

@@ -1,0 +1,31 @@
+"""DeepSparse comparison data (Fig 10-Right, §V-B2).
+
+"We extracted the DeepSparse result from their website; this experiment
+also corresponds to a sparse BERT-base with F1 score 87.1 ... We used the
+same AWS c5.12xlarge instance, and the same parameters (FP32 precision,
+BS=32, 24 cores) and we observe that the PARLOOPER implementation with
+block-SpMM is 1.56x faster than DeepSparse."
+"""
+
+from __future__ import annotations
+
+from .base import BaselineResult
+
+__all__ = ["DEEPSPARSE_BERT_BASE", "deepsparse_result"]
+
+#: published throughput of the pruned BERT-base (F1 87.1) on c5.12xlarge,
+#: FP32, BS=32, 24 cores — items (sequences) per second
+DEEPSPARSE_BERT_BASE = {
+    "platform": "c5.12xlarge",
+    "precision": "fp32",
+    "batch_size": 32,
+    "cores": 24,
+    "items_per_second": 92.0,
+    "f1": 87.1,
+}
+
+
+def deepsparse_result() -> BaselineResult:
+    ips = DEEPSPARSE_BERT_BASE["items_per_second"]
+    return BaselineResult("DeepSparse", 1.0 / ips, 0.0,
+                          "published vendor number (sequences/sec -> s/seq)")

@@ -1,0 +1,6 @@
+"""Benchmark harness utilities and the paper's published reference data."""
+
+from .harness import ExperimentTable, fmt
+from .paper_data import PAPER
+
+__all__ = ["ExperimentTable", "fmt", "PAPER"]

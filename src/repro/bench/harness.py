@@ -1,0 +1,66 @@
+"""Benchmark-harness utilities: table printing and paper-vs-measured rows.
+
+Every ``benchmarks/bench_*.py`` regenerates one table/figure of the
+paper's evaluation.  Rows are printed in a uniform format so
+EXPERIMENTS.md can quote them directly.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentTable", "fmt"]
+
+
+def fmt(value, unit: str = "", digits: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if abs(value) >= 1000:
+        s = f"{value:,.0f}"
+    else:
+        s = f"{value:.{digits}f}"
+    return f"{s}{unit}"
+
+
+@dataclass
+class ExperimentTable:
+    """Collects and pretty-prints one experiment's series."""
+
+    title: str
+    columns: list
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    def add(self, *row) -> None:
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} entries, table has "
+                f"{len(self.columns)} columns")
+        self.rows.append([fmt(v) if not isinstance(v, str) else v
+                          for v in row])
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(str(cell)))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [f"== {self.title} =="]
+        lines.append(" | ".join(c.ljust(w)
+                                for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(str(c).ljust(w)
+                                    for c, w in zip(row, widths)))
+        for n in self.notes:
+            lines.append(f"  note: {n}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n", file=sys.stderr)

@@ -1,0 +1,88 @@
+"""Published numbers from the paper's evaluation (§V), for the
+paper-vs-measured columns of EXPERIMENTS.md and the bench tables."""
+
+from __future__ import annotations
+
+__all__ = ["PAPER"]
+
+PAPER = {
+    # Fig 2 — GEMM headline ratios
+    "fig2": {
+        "spr_bf16_vs_onednn_max": 1.98,
+        "spr_bf16_vs_fp32_max": 9.0,
+        "gvt3_bf16_vs_onednn_max": 1.45,
+        "gvt3_mmla_vs_fp32_max": 3.43,
+        "zen4_spread_max": 1.04,          # all within 4%
+        "zen4_bf16_vs_fp32": 2.0,
+    },
+    # Fig 3 — MLP efficiency
+    "fig3": {
+        "spr_efficiency_max": 0.374,
+        "gvt3_efficiency_min": 0.90,
+        "zen4_efficiency_min": 0.90,
+        "spr_vs_gvt3_max": 3.3,
+        "spr_vs_zen4_max": 6.6,
+    },
+    # Fig 4 — TVM comparison
+    "fig4": {
+        "small_gemm_speedup": (1.24, 1.76),
+        "parlooper_tune_seconds": (2, 9, 120, 1320),
+        "tvm_tune_seconds": (17 * 60, 18 * 60, 24 * 60, 50 * 60),
+        "tuning_speedup": (2.3, 500),
+    },
+    # Fig 5 — Mojo
+    "fig5": {"geomean_speedup": 1.35},
+    # Fig 6 — perf model
+    "fig6": {"top5_contains_best": True},
+    # Fig 7 — convolutions vs oneDNN (geomeans)
+    "fig7": {"SPR": 1.16, "GVT3": 1.75, "Zen4": 1.12, "ADL": 1.14},
+    # Fig 8 — Block-SpMM
+    "fig8": {
+        "spr_32x32_speedup_50": 1.7,
+        "spr_32x32_speedup_90": 5.3,
+        "spr_4x4_peak_fraction": 0.125,
+        "gvt3_max_speedup": 9.4,
+        "zen4_max_speedup": 9.8,
+    },
+    # Fig 9 — BERT-Large SQuAD fine-tuning (sequences/sec on SPR)
+    "fig9": {
+        "spr_parlooper": 43.3,
+        "spr_tpp_static": 35.3,
+        "vs_tpp_static": 1.22,
+        "vs_ipex": 3.3,
+        "spr_vs_gvt3": 2.8,
+        "spr_vs_zen4": 4.4,
+        "avg_contraction_tflops": 40.0,
+    },
+    # Fig 10 — block-sparse BERT inference
+    "fig10": {
+        "speedup": {"SPR": 1.75, "GVT3": 1.95, "Zen4": 2.79},
+        "roofline_fraction": {"SPR": 0.71, "GVT3": 0.72, "Zen4": 0.88},
+        "vs_deepsparse": 1.56,
+        "f1_dense": 88.23,
+        "f1_sparse": 87.1,
+    },
+    # Fig 11 — LLM inference
+    "fig11": {
+        "spr_vs_hf": (1.1, 2.3),
+        "bf16_first_token": 5.7,
+        "bf16_next_token": 1.9,
+        "gvt3_vs_hf": 2.8,
+        "gvt3_bf16_first": 3.75,
+        "gvt3_bf16_next": 1.84,
+    },
+    # Table I — MLPerf v2.1 BERT time-to-train (minutes)
+    "table1": {
+        "spr_8node_min": 85.91,
+        "spr_16node_min": 47.26,
+        "dgx_a100_min": 19.6,
+    },
+    # Table II — ResNet-50 BF16 training (images/sec)
+    "table2": {
+        "gvt3_parlooper": 145,
+        "spr_parlooper": 255,
+        "spr_ipex": 265,
+        "spr_vs_gvt3": 1.76,
+        "ipex_gap_max": 0.04,
+    },
+}

@@ -1,0 +1,21 @@
+"""PARLOOPER core: declarative logical loops, the loop_spec_string knob,
+JIT loop-nest generation with caching, and the execution runtime."""
+
+from .cache import NestCache, global_nest_cache
+from .codegen import GeneratedNest, compile_nest, generate_source
+from .errors import ExecutionError, ParlooperError, SpecError
+from .loop_spec import LoopSpecs
+from .parser import LoopToken, ParsedSpec, parse_spec_string
+from .plan import LoopLevel, LoopNestPlan, build_plan
+from .runtime import NestContext, run_nest
+from .threaded_loop import ThreadedLoop, default_num_threads
+
+__all__ = [
+    "LoopSpecs", "ThreadedLoop", "default_num_threads",
+    "ParlooperError", "SpecError", "ExecutionError",
+    "LoopToken", "ParsedSpec", "parse_spec_string",
+    "LoopLevel", "LoopNestPlan", "build_plan",
+    "GeneratedNest", "generate_source", "compile_nest",
+    "NestCache", "global_nest_cache",
+    "NestContext", "run_nest",
+]

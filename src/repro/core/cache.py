@@ -1,0 +1,67 @@
+"""JIT cache for generated loop nests.
+
+"To avoid JIT overheads whenever possible, we cache the JITed target
+loops: if we request a loop nest with the same loop_spec_string, we merely
+return the function pointer of the already compiled and cached loop-nest"
+(§II-B).  The key also includes the loop declarations, since the same
+string over different bounds/steps yields different baked-in constants.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .codegen import GeneratedNest, compile_nest
+from .plan import LoopNestPlan
+
+__all__ = ["NestCache", "global_nest_cache"]
+
+
+class NestCache:
+    """Thread-safe (spec-string, specs) -> compiled-nest cache."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cache: dict[tuple, GeneratedNest] = {}
+        self.hits = 0
+        self.misses = 0
+        self.total_compile_seconds = 0.0
+
+    def get(self, plan: LoopNestPlan) -> GeneratedNest:
+        key = plan.cache_key()
+        with self._lock:
+            nest = self._cache.get(key)
+            if nest is not None:
+                self.hits += 1
+                return nest
+        # compile outside the lock; a racing duplicate compile is harmless
+        t0 = time.perf_counter()
+        nest = compile_nest(plan)
+        dt = time.perf_counter() - t0
+        with self._lock:
+            existing = self._cache.get(key)
+            if existing is not None:
+                self.hits += 1
+                return existing
+            self.misses += 1
+            self.total_compile_seconds += dt
+            self._cache[key] = nest
+            return nest
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cache.clear()
+            self.hits = 0
+            self.misses = 0
+            self.total_compile_seconds = 0.0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+_GLOBAL = NestCache()
+
+
+def global_nest_cache() -> NestCache:
+    return _GLOBAL

@@ -1,0 +1,20 @@
+"""PARLOOPER error types."""
+
+__all__ = ["ParlooperError", "SpecError", "ExecutionError"]
+
+
+class ParlooperError(Exception):
+    """Base class for all PARLOOPER errors."""
+
+
+class SpecError(ParlooperError):
+    """Invalid loop declaration or loop_spec_string.
+
+    Raised for grammar violations (RULE 1 / RULE 2 of §II-B), imperfect
+    blocking chains, out-of-range loop mnemonics, or thread-grid shapes
+    that do not match the available thread count.
+    """
+
+
+class ExecutionError(ParlooperError):
+    """Runtime failure while executing a generated loop nest."""

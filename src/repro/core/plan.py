@@ -1,0 +1,140 @@
+"""Loop-nest plan: the IR between parsing and code generation.
+
+A :class:`LoopNestPlan` resolves each spec-string token against its
+:class:`~repro.core.loop_spec.LoopSpecs` declaration: which concrete step
+each occurrence uses, which occurrence carries the innermost (logical)
+index, where parallelism and barriers sit.  The code generator walks this
+plan; the performance model walks the same plan symbolically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import SpecError
+from .loop_spec import LoopSpecs
+from .parser import ParsedSpec, parse_spec_string
+
+__all__ = ["LoopLevel", "LoopNestPlan", "build_plan"]
+
+
+@dataclass(frozen=True)
+class LoopLevel:
+    """One concrete loop level of the generated nest."""
+
+    position: int          # nesting depth
+    loop_index: int        # logical loop number (0 = 'a')
+    char: str
+    occurrence: int        # 0 = outermost occurrence of this logical loop
+    step: int              # concrete step at this level
+    outer_step: int        # step of the previous occurrence (span of this one)
+    is_innermost_occ: bool  # True when this level's var is the logical index
+    parallel: bool = False
+    grid_axis: str | None = None
+    grid_ways: int = 0
+    barrier_after: bool = False
+
+    @property
+    def var(self) -> str:
+        """Generated variable name, e.g. ``b1`` (matches Listing 2/3)."""
+        return f"{self.char}{self.occurrence}"
+
+
+@dataclass(frozen=True)
+class LoopNestPlan:
+    """Fully-resolved loop nest for one (specs, spec_string) pair."""
+
+    specs: tuple                 # tuple[LoopSpecs]
+    parsed: ParsedSpec
+    levels: tuple                # tuple[LoopLevel]
+    spec_string: str
+
+    @property
+    def num_loops(self) -> int:
+        return len(self.specs)
+
+    @property
+    def par_mode(self) -> int:
+        return self.parsed.par_mode
+
+    @property
+    def grid_shape(self) -> tuple:
+        """(R, C, D) thread grid for PAR-MODE 2 (missing axes = 1)."""
+        shape = self.parsed.grid_shape
+        return (shape.get("R", 1), shape.get("C", 1), shape.get("D", 1))
+
+    @property
+    def has_barriers(self) -> bool:
+        return any(lv.barrier_after for lv in self.levels)
+
+    def body_calls_total(self) -> int:
+        """Total body_func invocations for one traversal of the nest."""
+        total = 1
+        for spec, char in zip(self.specs,
+                              [chr(ord("a") + i) for i in range(len(self.specs))]):
+            innermost = min(lv.step for lv in self.levels if lv.char == char)
+            total *= -(-(spec.bound - spec.start) // innermost)
+        return total
+
+    def cache_key(self) -> tuple:
+        return (self.spec_string,
+                tuple((s.start, s.bound, s.step, s.block_steps)
+                      for s in self.specs))
+
+
+def build_plan(specs, spec_string: str) -> LoopNestPlan:
+    """Resolve a spec string against loop declarations into a nest plan."""
+    specs = tuple(specs)
+    for s in specs:
+        if not isinstance(s, LoopSpecs):
+            raise SpecError(f"expected LoopSpecs, got {type(s).__name__}")
+    parsed = parse_spec_string(spec_string, len(specs))
+
+    # per logical loop: resolve the step of each occurrence
+    occ_counter: dict[str, int] = {}
+    steps_of: dict[str, list] = {}
+    for char in parsed.loop_chars:
+        n_occ = len(parsed.occurrences(char))
+        spec = specs[ord(char) - ord("a")]
+        steps = spec.steps_for(n_occ)
+        span = spec.bound - spec.start
+        if span % steps[0] != 0:
+            raise SpecError(
+                f"loop {char!r}: span {span} is not a multiple of its "
+                f"outermost step {steps[0]} (POC requires perfect nesting)")
+        steps_of[char] = steps
+
+    levels = []
+    for tok in parsed.tokens:
+        k = occ_counter.get(tok.char, 0)
+        occ_counter[tok.char] = k + 1
+        steps = steps_of[tok.char]
+        spec = specs[tok.index]
+        outer_step = (spec.bound - spec.start) if k == 0 else steps[k - 1]
+        levels.append(LoopLevel(
+            position=tok.position,
+            loop_index=tok.index,
+            char=tok.char,
+            occurrence=k,
+            step=steps[k],
+            outer_step=outer_step,
+            is_innermost_occ=(k == len(steps) - 1),
+            parallel=tok.parallel,
+            grid_axis=tok.grid_axis,
+            grid_ways=tok.grid_ways,
+            barrier_after=tok.barrier_after,
+        ))
+
+    plan = LoopNestPlan(specs, parsed, tuple(levels), spec_string)
+
+    # PAR-MODE 2 sanity: ways must not exceed the loop's trip count at
+    # that level, or some grid coordinates would idle with zero work —
+    # allowed by OpenMP but almost certainly a spec mistake.
+    for lv in levels:
+        if lv.grid_axis:
+            trips = lv.outer_step // lv.step
+            if lv.grid_ways > trips:
+                raise SpecError(
+                    f"loop {lv.char!r} parallelized {lv.grid_ways}-ways but "
+                    f"has only {trips} iterations at that level")
+    return plan

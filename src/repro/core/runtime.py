@@ -1,0 +1,112 @@
+"""Execution runtime for generated loop nests.
+
+PARLOOPER's POC uses OpenMP; this runtime provides two equivalent modes:
+
+* ``execution="serial"`` (default): each logical thread's traversal is run
+  to completion in tid order on the calling thread.  Deterministic and
+  fast under the GIL; barriers are no-ops (each thread already sees every
+  earlier thread's writes).
+* ``execution="threads"``: real ``threading.Thread`` workers with a
+  ``threading.Barrier`` honouring ``|`` barrier requests.  NumPy releases
+  the GIL inside kernels so TPP-heavy bodies genuinely overlap.
+
+The paper notes the generator "can be extended to support other runtimes
+(e.g. TBB or pthreads)" — adding a mode here is the analogous extension
+point.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .errors import ExecutionError
+
+__all__ = ["NestContext", "run_nest", "EXECUTION_MODES"]
+
+EXECUTION_MODES = ("serial", "threads")
+
+
+class NestContext:
+    """Shared per-invocation state: barriers and dynamic-schedule counters."""
+
+    def __init__(self, nthreads: int, grid=(1, 1, 1), use_real_barrier=False):
+        self.nthreads = nthreads
+        self.grid = grid
+        self._lock = threading.Lock()
+        self._counters: dict = {}
+        if use_real_barrier and nthreads > 1:
+            self._barrier = threading.Barrier(nthreads)
+        else:
+            self._barrier = None
+
+    def barrier(self) -> None:
+        """End-of-level barrier (the ``|`` spec character)."""
+        if self._barrier is not None:
+            self._barrier.wait()
+
+    def next_chunk(self, group_id: int, epoch: tuple, total: int,
+                   chunk: int):
+        """Grab the next dynamic-schedule chunk of a worksharing region.
+
+        Each (group_id, epoch) pair is an independent region: *epoch* is
+        the tuple of enclosing loop indices, so re-encounters of an inner
+        ``omp for`` get fresh iteration counters (OpenMP semantics with
+        ``nowait``: threads may be in different epochs concurrently).
+        """
+        key = (group_id, epoch)
+        with self._lock:
+            start = self._counters.get(key, 0)
+            if start >= total:
+                return None
+            end = min(start + chunk, total)
+            self._counters[key] = end
+            return (start, end)
+
+
+def run_nest(nest_func, nthreads: int, body_func, init_func=None,
+             term_func=None, grid=(1, 1, 1), execution: str = "serial"
+             ) -> None:
+    """Execute a compiled nest function across *nthreads* logical threads."""
+    if execution not in EXECUTION_MODES:
+        raise ExecutionError(
+            f"unknown execution mode {execution!r}; expected one of "
+            f"{EXECUTION_MODES}")
+    if nthreads <= 0:
+        raise ExecutionError(f"nthreads must be positive, got {nthreads}")
+
+    gr, gc, gd = grid
+    if gr * gc * gd != nthreads and (gr, gc, gd) != (1, 1, 1):
+        raise ExecutionError(
+            f"thread grid {grid} requires {gr * gc * gd} threads but "
+            f"{nthreads} were provided")
+
+    if execution == "serial":
+        ctx = NestContext(nthreads, grid, use_real_barrier=False)
+        for tid in range(nthreads):
+            nest_func(tid, nthreads, body_func, init_func, term_func, ctx)
+        return
+
+    ctx = NestContext(nthreads, grid, use_real_barrier=True)
+    errors: list = []
+    err_lock = threading.Lock()
+
+    def worker(tid: int) -> None:
+        try:
+            nest_func(tid, nthreads, body_func, init_func, term_func, ctx)
+        except Exception as exc:  # noqa: BLE001 - propagated below
+            with err_lock:
+                errors.append((tid, exc))
+            # release any threads waiting on the barrier
+            if ctx._barrier is not None:
+                ctx._barrier.abort()
+
+    threads = [threading.Thread(target=worker, args=(tid,), daemon=True)
+               for tid in range(nthreads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        tid, exc = errors[0]
+        raise ExecutionError(
+            f"thread {tid} failed inside the generated nest: {exc}") from exc

@@ -1,0 +1,18 @@
+"""DL/HPC kernels written via PARLOOPER + TPPs (§III): GEMM (Listing 1),
+MLP, direct convolution (Listing 4), Block-SpMM (Listing 5)."""
+
+from .common import (alloc_blocked_c, pack_a_blocked, pack_b_blocked,
+                     pack_c_blocked, unpack_c_blocked)
+from .conv import DEFAULT_CONV_SPEC, ConvSpec, ParlooperConv
+from .gemm import DEFAULT_GEMM_SPEC, ParlooperGemm
+from .mlp import MlpLayer, ParlooperMlp
+from .spmm import DEFAULT_SPMM_SPEC, ParlooperSpmm
+
+__all__ = [
+    "ParlooperGemm", "DEFAULT_GEMM_SPEC",
+    "ParlooperMlp", "MlpLayer",
+    "ParlooperConv", "ConvSpec", "DEFAULT_CONV_SPEC",
+    "ParlooperSpmm", "DEFAULT_SPMM_SPEC",
+    "pack_a_blocked", "pack_b_blocked", "pack_c_blocked",
+    "unpack_c_blocked", "alloc_blocked_c",
+]

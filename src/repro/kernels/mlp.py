@@ -1,0 +1,144 @@
+"""Multi-Layer Perceptron via cascading PARLOOPER GEMMs (§III-A1).
+
+"An MLP within the PARLOOPER framework is just another loop around the
+GEMM primitive to capture the cascading GEMMs.  The tensor W_l of each
+layer corresponds to the A tensor ... the output matrix O_l of a layer l
+is subsequently the input matrix I_{l+1} of the next layer."
+
+The layer-to-layer activation handoff is what makes MLP performance
+LLC-bandwidth-sensitive on SPR (Fig 3): activations written by one core
+are read by every core in the next layer.  The simulation path keys
+activations per layer so the engine sees exactly that traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..platform.machine import MachineModel
+from ..simulator.engine import SimResult, simulate_traces
+from ..simulator.trace import trace_threaded_loop
+from ..tpp.dtypes import DType
+from .common import pack_b_blocked, unpack_c_blocked
+from .gemm import DEFAULT_GEMM_SPEC, ParlooperGemm
+
+__all__ = ["ParlooperMlp", "MlpLayer"]
+
+
+class MlpLayer:
+    """One fully-connected layer: O = act(W x I + bias)."""
+
+    def __init__(self, in_features: int, out_features: int, minibatch: int,
+                 bm: int = 64, bn: int = 64, bk: int = 64,
+                 dtype: DType = DType.F32,
+                 spec_string: str = DEFAULT_GEMM_SPEC,
+                 num_threads: int | None = None,
+                 activation: str = "relu", bias: bool = True):
+        # GEMM dims: M = out_features, K = in_features, N = minibatch
+        self.in_features = in_features
+        self.out_features = out_features
+        self.minibatch = minibatch
+        self.gemm = ParlooperGemm(
+            out_features, minibatch, in_features, bm, bn, bk,
+            dtype=dtype, spec_string=spec_string, num_threads=num_threads,
+            activation=activation, bias=bias)
+
+    def __call__(self, W_blocked: np.ndarray, I_blocked: np.ndarray,
+                 bias_vec: np.ndarray | None) -> np.ndarray:
+        O = self.gemm.alloc_c()
+        self.gemm(W_blocked, I_blocked, O, bias_vec)
+        return O
+
+
+class ParlooperMlp:
+    """A stack of fully-connected layers with fused bias + activation.
+
+    ``sizes = [f0, f1, ..., fL]`` declares L layers; layer l maps
+    ``f_l -> f_{l+1}`` features over a fixed minibatch.
+    """
+
+    def __init__(self, sizes, minibatch: int,
+                 bm: int = 64, bn: int = 64, bk: int = 64,
+                 dtype: DType = DType.F32,
+                 spec_string: str = DEFAULT_GEMM_SPEC,
+                 num_threads: int | None = None,
+                 activation: str = "relu", bias: bool = True, seed: int = 0):
+        if len(sizes) < 2:
+            raise ValueError("an MLP needs at least one layer (two sizes)")
+        self.sizes = list(sizes)
+        self.minibatch = minibatch
+        self.dtype = dtype
+        self.activation = activation
+        self.bias = bias
+        self.layers = [
+            MlpLayer(sizes[l], sizes[l + 1], minibatch, bm, bn, bk, dtype,
+                     spec_string, num_threads, activation, bias)
+            for l in range(len(sizes) - 1)
+        ]
+        rng = np.random.default_rng(seed)
+        self.weights = []
+        self.biases = []
+        for l, layer in enumerate(self.layers):
+            w = rng.standard_normal(
+                (sizes[l + 1], sizes[l])).astype(np.float32)
+            w *= np.sqrt(2.0 / sizes[l])
+            self.weights.append(layer.gemm.pack_a(w))
+            self.biases.append(
+                rng.standard_normal(sizes[l + 1]).astype(np.float32) * 0.01
+                if bias else None)
+
+    # -- functional -------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """x: (f0, minibatch) activations in, (fL, minibatch) out."""
+        act = self.layers[0].gemm.pack_b(x)
+        for layer, w, b in zip(self.layers, self.weights, self.biases):
+            out = layer(w, act, b)
+            # O[Nb][Mb][bm][bn] happens to be the B layout (K=M rows) of
+            # the next layer when bk == bm: the cascading property
+            act = out
+        return unpack_c_blocked(act)
+
+    # -- performance ------------------------------------------------------
+    @property
+    def flops(self) -> int:
+        return sum(layer.gemm.flops for layer in self.layers)
+
+    def simulate(self, machine: MachineModel) -> SimResult:
+        """Simulate the full cascade as one run so activations written in
+        layer l are the slices read in layer l+1 (core-to-core traffic)."""
+        nthreads = self.layers[0].gemm.num_threads
+        merged = None
+        for l, layer in enumerate(self.layers):
+            g = layer.gemm
+
+            def body(ind, l=l, g=g):
+                ik, im, in_ = ind
+                from ..simulator.cost import brgemm_event, eltwise_event
+                a_keys = [(f"W{l}", im, k)
+                          for k in range(ik, ik + g.k_step)]
+                # layer input = previous layer's output tensor
+                b_keys = [(f"ACT{l}", in_, k)
+                          for k in range(ik, ik + g.k_step)]
+                events = [brgemm_event(
+                    machine, g.dtype, g.bm, g.bn, g.bk, g.k_step,
+                    a_keys, b_keys, (f"ACT{l + 1}", in_, im), beta=1.0,
+                    c_first_touch=(ik == 0))]
+                if ik == g.Kb - g.k_step:
+                    events.append(eltwise_event(
+                        machine, g.dtype, g.bm, g.bn,
+                        [(f"ACT{l + 1}", in_, im)],
+                        (f"ACT{l + 1}", in_, im), flops_per_elem=2.0))
+                return events
+
+            traces = trace_threaded_loop(g.gemm_loop, body)
+            if merged is None:
+                merged = traces
+            else:
+                for t, extra in zip(merged, traces):
+                    t.events.extend(extra.events)
+        return simulate_traces(merged, machine)
+
+    def efficiency(self, machine: MachineModel) -> float:
+        """Fraction of machine peak achieved (the Fig 3 dashed lines)."""
+        res = self.simulate(machine)
+        return res.gflops / machine.peak_gflops(self.dtype)

@@ -1,0 +1,118 @@
+"""Block-Sparse x Dense GEMM via PARLOOPER — the paper's Listing 5 (§III-C).
+
+Two logical loops drive the ``bcsc_spmm_tpp`` microkernel::
+
+    a = block rows of sparse A     b = bn-wide panels of dense B/C
+
+Each body call computes the full (bm x bn) C block from one A block row
+(only its nonzero blocks) against the matching dense B blocks.  B may be
+pre-formatted in VNNI layout for the low-precision paths (lines 3-4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.loop_spec import LoopSpecs
+from ..core.threaded_loop import ThreadedLoop
+from ..platform.machine import MachineModel
+from ..simulator.cost import spmm_event
+from ..simulator.engine import SimResult, simulate
+from ..tpp.dtypes import DType, Precision
+from ..tpp.sparse import BCSCMatrix, BlockSpMMTPP
+from .common import as_dtype, divisible
+
+__all__ = ["ParlooperSpmm", "DEFAULT_SPMM_SPEC"]
+
+DEFAULT_SPMM_SPEC = "AB"
+
+
+class ParlooperSpmm:
+    """C = A_sparse x B_dense with BCSC block sparsity."""
+
+    def __init__(self, a: BCSCMatrix, N: int, bn: int = 64,
+                 dtype: DType = DType.F32, b_vnni: int = 1,
+                 spec_string: str = DEFAULT_SPMM_SPEC,
+                 num_threads: int | None = None,
+                 block_steps=((), ())):
+        divisible(N, bn, "N")
+        self.a = a
+        self.N = N
+        self.bn = bn
+        self.Nb = N // bn
+        self.dtype = dtype
+        self.b_vnni = b_vnni
+        self.spec_string = spec_string
+
+        prec = Precision.of(dtype)
+        self.spmm_tpp = BlockSpMMTPP(a.bm, bn, a.bk, beta=0.0,
+                                     b_vnni=b_vnni, precision=prec)
+        self.spmm_loop = ThreadedLoop(
+            [LoopSpecs(0, a.n_block_rows, 1, block_steps[0]),
+             LoopSpecs(0, self.Nb, 1, block_steps[1])],
+            spec_string, num_threads=num_threads)
+        self.num_threads = self.spmm_loop.num_threads
+
+    # -- layout ------------------------------------------------------------
+    def pack_b(self, b: np.ndarray) -> np.ndarray:
+        if b.shape != (self.a.k, self.N):
+            raise ValueError(
+                f"B must be ({self.a.k},{self.N}), got {b.shape}")
+        b = as_dtype(b, self.dtype)
+        return BlockSpMMTPP.pack_b(np.ascontiguousarray(b), self.b_vnni)
+
+    def alloc_c(self) -> np.ndarray:
+        return np.zeros((self.a.m, self.N), dtype=self.dtype.np)
+
+    # -- functional -------------------------------------------------------
+    def __call__(self, B: np.ndarray, C: np.ndarray) -> np.ndarray:
+        bm = self.a.bm
+
+        def body(ind):
+            i_m, i_n = ind[0], ind[1]
+            self.spmm_tpp(self.a, B,
+                          C[i_m * bm:(i_m + 1) * bm,
+                            i_n * self.bn:(i_n + 1) * self.bn],
+                          block_row=i_m, n_start=i_n * self.bn)
+
+        self.spmm_loop(body)
+        return C
+
+    def run(self, b: np.ndarray) -> np.ndarray:
+        C = self.alloc_c()
+        self(self.pack_b(b), C)
+        return C
+
+    # -- performance ------------------------------------------------------
+    @property
+    def effective_flops(self) -> int:
+        """Dense-equivalent flops (the paper's 'effective GFLOPS' y-axis
+        in Fig 8 counts the full dense work)."""
+        return 2 * self.a.m * self.a.k * self.N
+
+    @property
+    def actual_flops(self) -> int:
+        return 2 * self.a.bm * self.a.bk * self.N * self.a.nnz_blocks
+
+    def sim_body(self, machine: MachineModel):
+        a = self.a
+
+        def body(ind):
+            i_m, i_n = ind[0], ind[1]
+            cols = [kc for kc, _blk in a.row_blocks(i_m)]
+            if not cols:
+                return None
+            a_keys = [("Asp", i_m, kc) for kc in cols]
+            b_keys = [("B", kc, i_n) for kc in cols]
+            return spmm_event(machine, self.dtype, a.bm, self.bn, a.bk,
+                              len(cols), a_keys, b_keys,
+                              ("C", i_m, i_n), beta=0.0)
+        return body
+
+    def simulate(self, machine: MachineModel) -> SimResult:
+        return simulate(self.spmm_loop, self.sim_body(machine), machine)
+
+    def effective_gflops(self, machine: MachineModel) -> float:
+        """Dense-equivalent throughput (Fig 8 y-axis)."""
+        res = self.simulate(machine)
+        return self.effective_flops / res.seconds / 1e9

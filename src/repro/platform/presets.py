@@ -1,0 +1,195 @@
+"""The evaluation platforms of the paper (§V) as machine models.
+
+Numbers are drawn from the paper's platform descriptions plus public
+microarchitectural data; cache bandwidths are calibrated so the simulated
+headline ratios match the paper (e.g. SPR's BF16 MLP efficiency saturating
+near 37% on LLC bandwidth, §V-A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..tpp.backend.isa import ISA
+from ..tpp.dtypes import DType
+from .machine import CacheLevel, CoreCluster, MachineModel
+
+__all__ = ["SPR", "SPR_1S", "GVT3", "ZEN4", "ADL", "XEON8223",
+           "C5_12XLARGE", "RISCV64", "ALL_PLATFORMS", "platform_by_name",
+           "restrict_cores"]
+
+KiB = 1024
+MiB = 1024 * 1024
+
+_X86_SPR_ISA = {
+    DType.F64: ISA.AVX512,
+    DType.F32: ISA.AVX512,
+    DType.BF16: ISA.AMX_BF16,
+    DType.I8: ISA.AMX_INT8,
+}
+
+#: SPR: 2-socket Xeon 8480+, 2x56 Golden Cove cores, AMX, 8ch DDR5-4800/socket
+SPR = MachineModel(
+    name="SPR",
+    clusters=(CoreCluster("golden-cove", 112, 2.0, _X86_SPR_ISA),),
+    caches=(
+        CacheLevel("L1", 48 * KiB, 128.0),
+        CacheLevel("L2", 2 * MiB, 64.0),
+        CacheLevel("LLC", 210 * MiB, 900.0, shared=True),
+    ),
+    dram_bw_gbytes=614.0,
+    remote_hit_penalty=1.6,
+    core_llc_bw_bytes_per_cycle=24.0,
+    core_dram_gbytes=12.0,
+)
+
+#: single-socket SPR (Table II ResNet-50 training uses one socket)
+SPR_1S = MachineModel(
+    name="SPR-1S",
+    clusters=(CoreCluster("golden-cove", 56, 2.0, _X86_SPR_ISA),),
+    caches=(
+        CacheLevel("L1", 48 * KiB, 128.0),
+        CacheLevel("L2", 2 * MiB, 64.0),
+        CacheLevel("LLC", 105 * MiB, 450.0, shared=True),
+    ),
+    dram_bw_gbytes=307.0,
+    remote_hit_penalty=1.6,
+    core_llc_bw_bytes_per_cycle=24.0,
+    core_dram_gbytes=12.0,
+)
+
+_GVT3_ISA = {
+    DType.F64: ISA.SVE256,
+    DType.F32: ISA.SVE256,
+    DType.BF16: ISA.SVE256_MMLA,
+}
+
+#: GVT3: AWS Graviton 3, 64 Neoverse V1 cores, SVE256 + BF16 MMLA
+GVT3 = MachineModel(
+    name="GVT3",
+    clusters=(CoreCluster("neoverse-v1", 64, 2.6, _GVT3_ISA),),
+    caches=(
+        CacheLevel("L1", 64 * KiB, 96.0),
+        CacheLevel("L2", 1 * MiB, 48.0),
+        CacheLevel("LLC", 32 * MiB, 512.0, shared=True),
+    ),
+    dram_bw_gbytes=307.0,
+    remote_hit_penalty=1.4,
+    core_llc_bw_bytes_per_cycle=24.0,
+    core_dram_gbytes=30.0,
+)
+
+_ZEN4_ISA = {
+    DType.F64: ISA.AVX512,
+    DType.F32: ISA.AVX512,
+    DType.BF16: ISA.AVX512_BF16,
+}
+
+#: Zen4: AMD Ryzen 9 7950X, 16 cores, AVX512 + AVX512-BF16, 2ch DDR5-6000
+ZEN4 = MachineModel(
+    name="Zen4",
+    clusters=(CoreCluster("zen4", 16, 4.75, _ZEN4_ISA),),
+    caches=(
+        CacheLevel("L1", 32 * KiB, 128.0),
+        CacheLevel("L2", 1 * MiB, 64.0),
+        CacheLevel("LLC", 64 * MiB, 448.0, shared=True),
+    ),
+    dram_bw_gbytes=96.0,
+    remote_hit_penalty=1.8,  # cross-CCD hops are expensive
+    core_llc_bw_bytes_per_cycle=16.0,
+    core_dram_gbytes=30.0,
+)
+
+_ADL_P_ISA = {DType.F64: ISA.AVX2, DType.F32: ISA.AVX2}
+_ADL_E_ISA = {DType.F64: ISA.AVX2, DType.F32: ISA.AVX2}
+
+#: ADL: Intel i9-12900K, 8 P-cores + 8 E-cores (hybrid), AVX2 only
+ADL = MachineModel(
+    name="ADL",
+    clusters=(
+        CoreCluster("golden-cove-P", 8, 4.9, _ADL_P_ISA),
+        CoreCluster("gracemont-E", 8, 3.7, _ADL_E_ISA, ipc_scale=0.5),
+    ),
+    caches=(
+        CacheLevel("L1", 48 * KiB, 96.0),
+        CacheLevel("L2", 1280 * KiB, 48.0),
+        CacheLevel("LLC", 30 * MiB, 256.0, shared=True),
+    ),
+    dram_bw_gbytes=89.6,
+    remote_hit_penalty=1.5,
+)
+
+_CLX_ISA = {DType.F64: ISA.AVX512, DType.F32: ISA.AVX512}
+
+#: Xeon 8223 (AWS c5.4xlarge) — the Mojo blog's benchmark platform (Fig 5)
+XEON8223 = MachineModel(
+    name="Xeon8223",
+    clusters=(CoreCluster("cascade-lake", 8, 3.0, _CLX_ISA),),
+    caches=(
+        CacheLevel("L1", 32 * KiB, 128.0),
+        CacheLevel("L2", 1 * MiB, 64.0),
+        CacheLevel("LLC", 25 * MiB, 192.0, shared=True),
+    ),
+    dram_bw_gbytes=60.0,
+)
+
+#: AWS c5.12xlarge (24 cores) — the DeepSparse comparison platform (Fig 10)
+C5_12XLARGE = MachineModel(
+    name="c5.12xlarge",
+    clusters=(CoreCluster("cascade-lake", 24, 3.0, _CLX_ISA),),
+    caches=(
+        CacheLevel("L1", 32 * KiB, 128.0),
+        CacheLevel("L2", 1 * MiB, 64.0),
+        CacheLevel("LLC", 35 * MiB, 384.0, shared=True),
+    ),
+    dram_bw_gbytes=120.0,
+)
+
+_RISCV_ISA = {DType.F64: ISA.RVV256, DType.F32: ISA.RVV256}
+
+#: a hypothetical 64-core RISC-V server with RVV 1.0 (VLEN=256) — the
+#: paper's SVII future-work target, included so the identical kernels can
+#: be scheduled/tuned for it out of the box
+RISCV64 = MachineModel(
+    name="RISCV64",
+    clusters=(CoreCluster("rvv-server", 64, 2.0, _RISCV_ISA),),
+    caches=(
+        CacheLevel("L1", 32 * KiB, 64.0),
+        CacheLevel("L2", 1 * MiB, 32.0),
+        CacheLevel("LLC", 32 * MiB, 256.0, shared=True),
+    ),
+    dram_bw_gbytes=200.0,
+)
+
+ALL_PLATFORMS = {m.name: m for m in
+                 (SPR, SPR_1S, GVT3, ZEN4, ADL, XEON8223, C5_12XLARGE,
+                  RISCV64)}
+
+
+def platform_by_name(name: str) -> MachineModel:
+    try:
+        return ALL_PLATFORMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; available: "
+            f"{sorted(ALL_PLATFORMS)}") from None
+
+
+def restrict_cores(machine: MachineModel, cores: int) -> MachineModel:
+    """A sub-machine using only the first *cores* cores (from the leading
+    cluster outward), as in the paper's BS=1 latency experiments which pin
+    8 cores per instance (§V-B2).  Shared resources are left untouched —
+    a partially-used socket still sees the full LLC and DRAM."""
+    if cores <= 0 or cores > machine.total_cores:
+        raise ValueError(
+            f"cannot restrict {machine.name} to {cores} cores "
+            f"(has {machine.total_cores})")
+    remaining = cores
+    clusters = []
+    for cl in machine.clusters:
+        take = min(cl.count, remaining)
+        if take:
+            clusters.append(replace(cl, count=take))
+            remaining -= take
+    return replace(machine, name=f"{machine.name}[{cores}c]",
+                   clusters=tuple(clusters))

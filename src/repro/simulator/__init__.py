@@ -1,0 +1,18 @@
+"""Trace-driven performance simulation: the lightweight Box-B3 perfmodel
+(§II-E) and the richer measurement engine standing in for the testbeds."""
+
+from .cost import bandwidth_event, brgemm_event, eltwise_event, spmm_event
+from .engine import SimResult, simulate, simulate_flat, simulate_traces
+from .lru import CacheHierarchy, LRUCache
+from .perfmodel import PerfPrediction, predict, predict_traces
+from .trace import (Access, BodyEvent, ThreadTrace, trace_flat,
+                    trace_threaded_loop)
+
+__all__ = [
+    "Access", "BodyEvent", "ThreadTrace", "trace_flat",
+    "trace_threaded_loop",
+    "LRUCache", "CacheHierarchy",
+    "brgemm_event", "spmm_event", "eltwise_event", "bandwidth_event",
+    "PerfPrediction", "predict", "predict_traces",
+    "SimResult", "simulate", "simulate_flat", "simulate_traces",
+]

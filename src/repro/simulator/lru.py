@@ -1,0 +1,106 @@
+"""LRU cache models over tensor slices.
+
+"Each level of cache is represented as set and is updated based on the LRU
+policy as the execution progresses" (§II-E).  Keys are tensor-slice ids;
+capacity is in bytes; slices have arbitrary sizes (the ``footprint`` of an
+:class:`~repro.simulator.trace.Access`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["LRUCache", "CacheHierarchy"]
+
+
+class LRUCache:
+    """Byte-capacity LRU set of tensor slices."""
+
+    __slots__ = ("capacity", "_entries", "_used", "hits", "misses",
+                 "evictions")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict = OrderedDict()  # key -> (bytes, owner)
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def access(self, key, nbytes: int, owner: int = -1) -> bool:
+        """Touch a slice; returns True on hit.  Inserts on miss.
+
+        ``owner`` tags the inserting thread/core so shared caches can
+        detect remote-written lines (coherence-cost modelling).
+        """
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._entries[key] = entry
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._insert(key, nbytes, owner)
+        return False
+
+    def owner_of(self, key) -> int:
+        entry = self._entries.get(key)
+        return entry[1] if entry is not None else -1
+
+    def set_owner(self, key, owner: int) -> None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries[key] = (entry[0], owner)
+
+    def contains(self, key) -> bool:
+        return key in self._entries
+
+    def _insert(self, key, nbytes: int, owner: int) -> None:
+        nbytes = min(int(nbytes), self.capacity)
+        while self._used + nbytes > self.capacity and self._entries:
+            _k, (b, _o) = self._entries.popitem(last=False)
+            self._used -= b
+            self.evictions += 1
+        self._entries[key] = (nbytes, owner)
+        self._used += nbytes
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class CacheHierarchy:
+    """An inclusive multi-level hierarchy private to one thread.
+
+    ``lookup`` returns the index of the level that hit (0 = L1), or
+    ``len(levels)`` for memory, and fills all levels on the way (inclusive
+    caches, matching the paper's simple model).
+    """
+
+    def __init__(self, capacities):
+        self.levels = [LRUCache(c) for c in capacities]
+
+    def lookup(self, key, nbytes: int, owner: int = -1) -> int:
+        hit_level = len(self.levels)
+        for i, cache in enumerate(self.levels):
+            if cache.access(key, nbytes, owner):
+                hit_level = i
+                break
+        # fill upper levels above the hit (access() already inserted on
+        # its miss path, so only levels above hit_level-1 need no work)
+        return hit_level
+
+    def clear(self) -> None:
+        for c in self.levels:
+            c.clear()

@@ -1,0 +1,144 @@
+"""The paper's lightweight performance-modeling tool (Fig 1 Box B3, §II-E).
+
+Per-thread slice traces are replayed against a private <=3-level LRU
+hierarchy; each event costs ``max(compute cycles, memory cycles)`` with
+memory cycles from the residency level's bandwidth.  Data sharing between
+threads is ignored ("For simplicity we ignore data-sharing"), which is
+precisely what distinguishes this *model* from the measurement *engine*
+(:mod:`repro.simulator.engine`) — the Fig 6 experiment compares the two.
+
+The tool's purpose is ranking loop_spec_strings: "loops with poor locality
+and low-concurrency get a low score".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.threaded_loop import ThreadedLoop
+from ..platform.machine import MachineModel
+from .lru import CacheHierarchy
+from .trace import ThreadTrace, trace_threaded_loop
+
+__all__ = ["PerfPrediction", "predict", "predict_traces"]
+
+GIGA = 1e9
+
+
+@dataclass(frozen=True)
+class PerfPrediction:
+    """Predicted performance of one loop instantiation."""
+
+    seconds: float
+    total_flops: float
+    per_thread_seconds: tuple
+    hit_fractions: tuple      # per level incl. memory, aggregated
+
+    @property
+    def gflops(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.total_flops / self.seconds / GIGA
+
+    @property
+    def score(self) -> float:
+        """Higher is better; used by the tuner to rank spec strings."""
+        return self.gflops
+
+
+def predict(loop: ThreadedLoop, sim_body, machine: MachineModel,
+            sample_threads: int | None = None,
+            total_flops: float | None = None) -> PerfPrediction:
+    """Model the performance of *loop* on *machine*.
+
+    ``sim_body(ind)`` describes the per-invocation work (see
+    :mod:`repro.simulator.trace`).  ``sample_threads`` caps how many
+    threads are traced and simulated (evenly spread over tids) for cheap
+    tuning sweeps — the makespan uses the worst sampled thread.
+
+    ``total_flops``: the whole-kernel flop count.  The iteration space is
+    instantiation-independent, so callers usually know it exactly; pass
+    it when sampling, otherwise the extrapolation from sampled threads
+    over-credits schedules that starve most threads.
+    """
+    if sample_threads is not None and sample_threads < loop.num_threads:
+        step = max(1, loop.num_threads // sample_threads)
+        tids = list(range(0, loop.num_threads, step))[:sample_threads]
+        # include the last tid: static block distributions put the
+        # remainder-starved thread at the end
+        if tids[-1] != loop.num_threads - 1:
+            tids.append(loop.num_threads - 1)
+        traces = trace_threaded_loop(loop, sim_body, tids=tids)
+        pred = predict_traces(traces, machine, loop.num_threads, None)
+        flops = (total_flops if total_flops is not None
+                 else pred.total_flops * loop.num_threads / len(traces))
+        return PerfPrediction(pred.seconds, flops,
+                              pred.per_thread_seconds, pred.hit_fractions)
+    traces = trace_threaded_loop(loop, sim_body)
+    pred = predict_traces(traces, machine, loop.num_threads, sample_threads)
+    if total_flops is not None:
+        pred = PerfPrediction(pred.seconds, total_flops,
+                              pred.per_thread_seconds, pred.hit_fractions)
+    return pred
+
+
+def predict_traces(traces, machine: MachineModel, num_threads: int,
+                   sample_threads: int | None = None) -> PerfPrediction:
+    if sample_threads is not None and sample_threads < len(traces):
+        step = max(1, len(traces) // sample_threads)
+        picked = list(traces[::step])[:sample_threads]
+        # always include the heaviest trace so load imbalance is seen
+        heaviest = max(traces, key=lambda t: len(t))
+        if heaviest not in picked:
+            picked.append(heaviest)
+    else:
+        picked = list(traces)
+
+    nthreads = max(1, num_threads)
+    # private view of the hierarchy: shared levels contribute a 1/nthreads
+    # capacity and bandwidth share; data sharing itself is ignored
+    capacities = []
+    bandwidths = []   # bytes/second per thread
+    freq = machine.freq_ghz * GIGA
+    for lv in machine.caches:
+        if lv.shared:
+            capacities.append(max(1, lv.size_bytes // nthreads))
+            bandwidths.append(lv.bw_bytes_per_cycle * freq / nthreads)
+        else:
+            capacities.append(lv.size_bytes)
+            bandwidths.append(lv.bw_bytes_per_cycle * freq)
+    dram_bw = machine.dram_bw_gbytes * GIGA / nthreads
+    bandwidths.append(dram_bw)
+    n_levels = len(machine.caches)
+
+    per_thread_s = []
+    level_bytes = [0.0] * (n_levels + 1)
+    total_flops = 0.0
+    for trace in picked:
+        hier = CacheHierarchy(capacities)
+        t = 0.0
+        for ev in trace.events:
+            mem_s = 0.0
+            for acc in ev.accesses:
+                lvl = hier.lookup(acc.key, acc.footprint)
+                mem_s += acc.nbytes * acc.cost_scale / bandwidths[lvl]
+                level_bytes[lvl] += acc.nbytes
+            comp_s = ev.compute_cycles() / freq
+            t += max(comp_s, mem_s)
+        per_thread_s.append(t)
+        total_flops += trace.flops
+
+    # unsampled threads contribute flops to throughput accounting
+    if len(picked) < len(traces):
+        sampled = {tr.tid for tr in picked}
+        total_flops += sum(tr.flops for tr in traces
+                           if tr.tid not in sampled)
+
+    makespan = max(per_thread_s) if per_thread_s else 0.0
+    tot_bytes = sum(level_bytes) or 1.0
+    return PerfPrediction(
+        seconds=makespan,
+        total_flops=total_flops,
+        per_thread_seconds=tuple(per_thread_s),
+        hit_fractions=tuple(b / tot_bytes for b in level_bytes),
+    )

@@ -1,0 +1,166 @@
+"""Tensor-slice access traces (§II-E).
+
+"Each thread can create a trace of its A, B and C accesses that arise in
+chronological order as the thread proceeds ... These traces are compact
+since they register accesses of full tensor slices instead of individual
+cache-lines."
+
+A trace is a list of :class:`BodyEvent`\\ s, one per ``body_func``
+invocation, each carrying the tensor-slice accesses of that invocation and
+its compute work.  Traces are produced by running the *actual* generated
+loop nest with a recording body, so the simulated order is exactly the
+executed order for any ``loop_spec_string``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.plan import LoopNestPlan
+from ..core.runtime import NestContext
+from ..core.threaded_loop import ThreadedLoop
+
+__all__ = ["Access", "BodyEvent", "ThreadTrace", "trace_threaded_loop",
+           "trace_flat"]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One tensor-slice access.
+
+    ``key`` identifies the slice — ``(tensor_name, *block_indices)`` — and
+    must be stable across threads so shared-cache simulation can detect
+    cross-thread reuse.  ``footprint`` (defaults to ``nbytes``) is the
+    cache space the slice occupies and ``cost_scale`` the extra transfer
+    traffic; layout penalties (e.g. flat-B conflict misses, §V-A1) are
+    modelled by inflating both — conflicting lines evict each other, so
+    they occupy more effective capacity *and* get refetched.
+    """
+
+    key: tuple
+    nbytes: int
+    write: bool = False
+    footprint: int = 0
+    cost_scale: float = 1.0
+
+    def __post_init__(self):
+        if self.footprint == 0:
+            object.__setattr__(self, "footprint", self.nbytes)
+
+
+@dataclass
+class BodyEvent:
+    """Work of one body invocation: slice accesses + compute."""
+
+    accesses: tuple
+    flops: float = 0.0
+    #: effective FLOP/cycle of the compute (microkernel efficiency folded in)
+    flops_per_cycle: float = 1.0
+    #: extra fixed cycles (e.g. kernel call overhead)
+    extra_cycles: float = 0.0
+
+    def compute_cycles(self) -> float:
+        if self.flops <= 0:
+            return self.extra_cycles
+        return self.flops / max(self.flops_per_cycle, 1e-9) + self.extra_cycles
+
+
+@dataclass
+class ThreadTrace:
+    tid: int
+    events: list = field(default_factory=list)
+
+    @property
+    def flops(self) -> float:
+        return sum(e.flops for e in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def trace_threaded_loop(loop: ThreadedLoop, sim_body,
+                        tids=None) -> list:
+    """Per-thread traces of a ThreadedLoop under its current spec string.
+
+    ``sim_body(ind) -> BodyEvent | list[BodyEvent] | None`` describes the
+    work of one body invocation.  Returns ``[ThreadTrace]``, one per
+    traced tid (all threads unless *tids* selects a subset).
+
+    Dynamic schedules are traced with their worksharing *chunks* dealt
+    round-robin (a fair proxy for runtime self-scheduling: simulated
+    greedy assignment happens later in the engine).
+    """
+    tid_list = list(range(loop.num_threads)) if tids is None else list(tids)
+    traces = [ThreadTrace(tid) for tid in tid_list]
+    nest = loop._nest.func
+    for trace_slot, tid in enumerate(tid_list):
+        ctx = _TracingContext(loop.num_threads, loop.plan.grid_shape, tid)
+        events = traces[trace_slot].events
+
+        def body(ind, _events=events):
+            ev = sim_body(list(ind))
+            if ev is None:
+                return
+            if isinstance(ev, BodyEvent):
+                _events.append(ev)
+            else:
+                _events.extend(ev)
+
+        nest(tid, loop.num_threads, body, None, None, ctx)
+    return traces
+
+
+def trace_flat(loop: ThreadedLoop, sim_body) -> ThreadTrace:
+    """A single whole-nest trace (thread-agnostic iteration order).
+
+    Used by the engine's dynamic-scheduling path, which re-assigns events
+    to cores greedily by simulated availability.
+    """
+    serial = ThreadedLoop(loop.specs, _serialize_spec(loop.spec_string),
+                          num_threads=1, cache=loop._cache)
+    out = ThreadTrace(0)
+
+    def body(ind):
+        ev = sim_body(list(ind))
+        if ev is None:
+            return
+        if isinstance(ev, BodyEvent):
+            out.events.append(ev)
+        else:
+            out.events.extend(ev)
+
+    serial(body)
+    return out
+
+
+def _serialize_spec(spec: str) -> str:
+    """Lower-case every mnemonic and strip grid annotations/barriers."""
+    import re
+    body, _, _directives = spec.partition("@")
+    body = re.sub(r"\{\s*[RCD]\s*:\s*\d+\s*\}", "", body)
+    body = body.replace("|", "")
+    return body.lower()
+
+
+class _TracingContext(NestContext):
+    """Context for tracing: fair round-robin dynamic chunks per thread.
+
+    The real runtime's dynamic counter is first-come-first-served; during
+    tracing each thread runs in isolation, so instead chunk *i* of a
+    region is granted to thread ``i % nthreads`` — every chunk is traced
+    exactly once across threads.
+    """
+
+    def __init__(self, nthreads, grid, tid):
+        super().__init__(nthreads, grid, use_real_barrier=False)
+        self._tid = tid
+        self._round: dict = {}
+
+    def next_chunk(self, group_id, epoch, total, chunk):
+        key = (group_id, epoch)
+        i = self._round.get(key, self._tid)  # thread's first chunk index
+        if i * chunk >= total:
+            self._round.pop(key, None)
+            return None
+        self._round[key] = i + self.nthreads
+        return (i * chunk, min((i + 1) * chunk, total))

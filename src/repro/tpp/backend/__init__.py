@@ -1,0 +1,19 @@
+"""Platform-specific TPP backend: ISA models, microkernel configuration,
+and the dispatch cache (the reproduction's stand-in for LIBXSMM's JIT)."""
+
+from .dispatch import DispatchCache, dispatch_brgemm, global_dispatch_cache
+from .isa import ISA, ISA_SPECS, IsaSpec, MatrixUnit, matrix_unit_efficiency
+from .microkernel import MicrokernelConfig, configure_microkernel
+
+__all__ = [
+    "ISA",
+    "ISA_SPECS",
+    "IsaSpec",
+    "MatrixUnit",
+    "matrix_unit_efficiency",
+    "MicrokernelConfig",
+    "configure_microkernel",
+    "DispatchCache",
+    "dispatch_brgemm",
+    "global_dispatch_cache",
+]

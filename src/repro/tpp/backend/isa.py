@@ -1,0 +1,115 @@
+"""Instruction-set models for the TPP backend.
+
+The TPP *specification* is platform-agnostic; the *implementation* is
+platform-specific (§I).  This module captures the ISA facts the backend's
+code generation decisions depend on: vector width, FMA issue rate, matrix
+units (AMX tiles / SVE-MMLA) and their efficiency constraints.
+
+The one constraint with first-order evaluation impact (Fig 8) is the AMX
+systolic array's accumulation-chain requirement: "the systolic is fully
+utilized with accumulation length multiples of 32"; a 4-wide chain reaches
+only 4/32 = 12.5 % of BF16 peak.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..dtypes import DType
+
+__all__ = ["ISA", "MatrixUnit", "IsaSpec", "ISA_SPECS", "matrix_unit_efficiency"]
+
+
+class ISA(enum.Enum):
+    AVX2 = "avx2"
+    AVX512 = "avx512"
+    AVX512_VNNI = "avx512_vnni"
+    AVX512_BF16 = "avx512_bf16"
+    AMX_BF16 = "amx_bf16"
+    AMX_INT8 = "amx_int8"
+    SVE256 = "sve256"
+    SVE256_BF16 = "sve256_bf16"
+    SVE256_MMLA = "sve256_mmla"
+    NEON = "neon"
+    RVV256 = "rvv256"
+
+
+class MatrixUnit(enum.Enum):
+    NONE = "none"
+    AMX = "amx"          # 16x16x32 BF16 systolic tiles (SPR)
+    MMLA = "mmla"        # SVE 2x4 x 4x2 BF16 tiles (Graviton 3)
+
+
+@dataclass(frozen=True)
+class IsaSpec:
+    """Static properties of one ISA level on one core."""
+
+    isa: ISA
+    vector_bits: int
+    #: FMA pipes per core issuing one vector FMA per cycle each
+    fma_pipes: int
+    #: datatypes this ISA level can contract natively
+    dtypes: tuple
+    matrix_unit: MatrixUnit = MatrixUnit.NONE
+    #: macs per cycle per core for the matrix unit (BF16), if any
+    matrix_macs_per_cycle: int = 0
+    #: accumulation-chain length for full matrix-unit utilization
+    full_chain: int = 1
+
+    def flops_per_cycle(self, dtype: DType) -> float:
+        """Peak FLOP/cycle/core for *dtype* contractions under this ISA."""
+        if self.matrix_unit is not MatrixUnit.NONE and dtype.is_low_precision:
+            return 2.0 * self.matrix_macs_per_cycle
+        lanes = self.vector_bits // (dtype.nbytes * 8)
+        # FMA = 2 flops per lane per pipe per cycle
+        return 2.0 * lanes * self.fma_pipes
+
+
+ISA_SPECS: dict[ISA, IsaSpec] = {
+    ISA.AVX2: IsaSpec(ISA.AVX2, 256, 2, (DType.F64, DType.F32)),
+    ISA.AVX512: IsaSpec(ISA.AVX512, 512, 2, (DType.F64, DType.F32)),
+    ISA.AVX512_VNNI: IsaSpec(ISA.AVX512_VNNI, 512, 2,
+                             (DType.F32, DType.I8)),
+    # Zen4-style AVX512-BF16: BF16 FMA doubling lanes over FP32
+    ISA.AVX512_BF16: IsaSpec(ISA.AVX512_BF16, 512, 2,
+                             (DType.F32, DType.BF16), MatrixUnit.NONE,
+                             full_chain=2),
+    # SPR AMX: one tile op = 16x16x32 BF16 macs over ~16 cycles
+    # => 512 BF16 macs/cycle/core
+    ISA.AMX_BF16: IsaSpec(ISA.AMX_BF16, 512, 2,
+                          (DType.F32, DType.BF16), MatrixUnit.AMX,
+                          matrix_macs_per_cycle=512, full_chain=32),
+    ISA.AMX_INT8: IsaSpec(ISA.AMX_INT8, 512, 2,
+                          (DType.F32, DType.I8), MatrixUnit.AMX,
+                          matrix_macs_per_cycle=1024, full_chain=64),
+    ISA.SVE256: IsaSpec(ISA.SVE256, 256, 2, (DType.F64, DType.F32)),
+    ISA.SVE256_BF16: IsaSpec(ISA.SVE256_BF16, 256, 2,
+                             (DType.F32, DType.BF16), MatrixUnit.NONE,
+                             full_chain=4),
+    # Graviton3 BF16-MMLA: 4 pipes x 2x2x4 macs per BFMMLA segment pair
+    ISA.SVE256_MMLA: IsaSpec(ISA.SVE256_MMLA, 256, 2,
+                             (DType.F32, DType.BF16), MatrixUnit.MMLA,
+                             matrix_macs_per_cycle=64, full_chain=4),
+    ISA.NEON: IsaSpec(ISA.NEON, 128, 2, (DType.F64, DType.F32)),
+    # RISC-V Vector 1.0 @ VLEN=256 — the paper's named future target
+    # ("we plan to further apply our framework on additional CPU
+    # architectures (e.g. with RISC-V ISA)", SVII)
+    ISA.RVV256: IsaSpec(ISA.RVV256, 256, 2, (DType.F64, DType.F32)),
+}
+
+
+def matrix_unit_efficiency(spec: IsaSpec, chain_len: int) -> float:
+    """Utilization of a matrix unit given an accumulation-chain length.
+
+    Models the Fig 8 mechanism: AMX needs ``full_chain`` (32 for BF16)
+    accumulation steps to fill the systolic array; shorter chains achieve
+    ``chain/full_chain`` of peak.  Vector-FMA ISAs have small minimal
+    chains (4 on Graviton3 BF16, 2 on Zen4), so small sparse blocks still
+    run near peak there.
+    """
+    if chain_len <= 0:
+        return 0.0
+    if spec.full_chain <= 1:
+        return 1.0
+    return min(1.0, chain_len / float(spec.full_chain))

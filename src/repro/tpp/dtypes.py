@@ -1,0 +1,160 @@
+"""Precision handling for Tensor Processing Primitives.
+
+The TPP specification is *precision aware*: every primitive carries separate
+input, output, and compute datatypes (§II-C of the paper: "the TPPs are
+precision-aware per design ... the same code works for all precisions").
+
+NumPy has no native bfloat16, so BF16 is emulated bit-exactly on top of
+float32: a BF16 value is a float32 whose 16 low mantissa bits are zero.
+Conversion uses round-to-nearest-even on the upper 16 bits, matching the
+behaviour of AVX512-BF16 ``VCVTNEPS2BF16`` and the Arm ``BFCVT``
+instructions that the paper's LIBXSMM backend emits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DType",
+    "bf16_round",
+    "is_bf16_representable",
+    "to_compute",
+    "from_compute",
+    "dtype_nbytes",
+    "tolerance_for",
+]
+
+
+class DType(enum.Enum):
+    """Datatypes supported by the TPP collection.
+
+    ``F32`` and ``F64`` map to native NumPy types.  ``BF16`` and ``F16`` are
+    storage formats: tensors are held as float32 arrays constrained to the
+    representable subset, exactly like the paper's kernels which compute in
+    FP32 and store activations/weights in 16-bit containers.
+    """
+
+    F64 = "f64"
+    F32 = "f32"
+    BF16 = "bf16"
+    F16 = "f16"
+    I32 = "i32"
+    I8 = "i8"
+
+    @property
+    def np(self) -> np.dtype:
+        """Native NumPy dtype used as the in-memory container."""
+        return _NP_CONTAINER[self]
+
+    @property
+    def nbytes(self) -> int:
+        """Storage size in bytes of one element (the *logical* format)."""
+        return _NBYTES[self]
+
+    @property
+    def is_float(self) -> bool:
+        return self in (DType.F64, DType.F32, DType.BF16, DType.F16)
+
+    @property
+    def is_low_precision(self) -> bool:
+        """True for formats narrower than FP32 (eligible for VNNI/AMX/MMLA)."""
+        return self in (DType.BF16, DType.F16, DType.I8)
+
+
+_NP_CONTAINER = {
+    DType.F64: np.dtype(np.float64),
+    DType.F32: np.dtype(np.float32),
+    DType.BF16: np.dtype(np.float32),  # emulated
+    DType.F16: np.dtype(np.float16),
+    DType.I32: np.dtype(np.int32),
+    DType.I8: np.dtype(np.int8),
+}
+
+_NBYTES = {
+    DType.F64: 8,
+    DType.F32: 4,
+    DType.BF16: 2,
+    DType.F16: 2,
+    DType.I32: 4,
+    DType.I8: 1,
+}
+
+
+def bf16_round(x: np.ndarray) -> np.ndarray:
+    """Round a float32 array to the nearest bfloat16 value (ties to even).
+
+    Returns a float32 array whose values are exactly representable in BF16.
+    This is the software equivalent of ``VCVTNEPS2BF16`` and matches the
+    hardware for normals, subnormals, infinities and NaN payload truncation.
+    """
+    x = np.ascontiguousarray(x, dtype=np.float32)
+    bits = x.view(np.uint32)
+    # round-to-nearest-even on bit 16
+    lsb = (bits >> 16) & 1
+    rounded = bits + 0x7FFF + lsb
+    # NaNs must stay NaNs: quiet them instead of rounding (which could
+    # carry into the exponent and produce inf).
+    nan_mask = np.isnan(x)
+    out = (rounded & 0xFFFF0000).astype(np.uint32)
+    out = np.where(nan_mask, bits | np.uint32(0x00400000), out)
+    out = (out & np.uint32(0xFFFF0000)).view(np.float32)
+    return out.reshape(x.shape)
+
+
+def is_bf16_representable(x: np.ndarray) -> bool:
+    """True if every value of *x* is exactly representable in bfloat16."""
+    x = np.asarray(x, dtype=np.float32)
+    bits = x.view(np.uint32)
+    return bool(np.all((bits & 0xFFFF) == 0))
+
+
+def to_compute(x: np.ndarray, dtype: DType, compute: DType = DType.F32) -> np.ndarray:
+    """Up-convert a stored tensor to the compute precision.
+
+    BF16 inputs are assumed already constrained to the representable subset
+    (enforced at store time by :func:`from_compute`), so this is a plain
+    dtype cast.
+    """
+    return np.asarray(x, dtype=compute.np)
+
+
+def from_compute(x: np.ndarray, dtype: DType) -> np.ndarray:
+    """Down-convert a compute-precision result to the storage format."""
+    if dtype is DType.BF16:
+        return bf16_round(np.asarray(x, dtype=np.float32))
+    return np.asarray(x, dtype=dtype.np)
+
+
+def dtype_nbytes(dtype: DType) -> int:
+    return dtype.nbytes
+
+
+def tolerance_for(dtype: DType) -> float:
+    """Relative tolerance appropriate for validating results in *dtype*."""
+    return {
+        DType.F64: 1e-12,
+        DType.F32: 1e-5,
+        DType.BF16: 2e-2,
+        DType.F16: 5e-3,
+        DType.I32: 0.0,
+        DType.I8: 0.0,
+    }[dtype]
+
+
+@dataclass(frozen=True)
+class Precision:
+    """A (in, out, compute) precision triple for a TPP instance."""
+
+    inp: DType = DType.F32
+    out: DType = DType.F32
+    comp: DType = DType.F32
+
+    @staticmethod
+    def of(dtype: DType) -> "Precision":
+        """Homogeneous precision with FP32 accumulation for 16-bit types."""
+        comp = DType.F32 if dtype.is_low_precision else dtype
+        return Precision(dtype, dtype, comp)

@@ -1,0 +1,88 @@
+"""Pointer-like views over NumPy arrays.
+
+The paper's kernels pass raw addresses (``&A[ik][im][0][0]``) to the
+stride-based BRGEMM, which then walks *past the end of the addressed block*
+at fixed element strides.  NumPy sub-array views cannot express that, so
+:class:`Ptr` reproduces C pointer semantics: a flat view of the whole
+backing buffer plus an element offset.  Kernels written with ``Ptr.of`` read
+nearly token-for-token like Listings 1 and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Ptr"]
+
+
+@dataclass(frozen=True)
+class Ptr:
+    """An (array, element-offset) pair — the moral equivalent of a C pointer."""
+
+    flat: np.ndarray
+    offset: int = 0
+
+    @staticmethod
+    def of(array: np.ndarray, *index: int) -> "Ptr":
+        """Pointer to ``&array[index...][0]...[0]``.
+
+        ``Ptr.of(A, ik, im)`` on a 4-D blocked tensor ``A[Kb][Mb][bm][bk]``
+        is the element offset of block (ik, im), exactly like
+        ``&A[ik][im][0][0]`` in the paper's listings.
+        """
+        if not array.flags["C_CONTIGUOUS"]:
+            raise ValueError("Ptr requires a C-contiguous backing array")
+        flat = array.reshape(-1)
+        if not index:
+            return Ptr(flat, 0)
+        if len(index) > array.ndim:
+            raise ValueError(
+                f"too many indices ({len(index)}) for array of ndim {array.ndim}")
+        offset = 0
+        for axis, idx in enumerate(index):
+            dim = array.shape[axis]
+            if not -dim <= idx < dim:
+                raise IndexError(
+                    f"index {idx} out of bounds for axis {axis} (size {dim})")
+            stride = int(np.prod(array.shape[axis + 1:], dtype=np.int64))
+            offset += (idx % dim) * stride
+        return Ptr(flat, int(offset))
+
+    def __add__(self, elems: int) -> "Ptr":
+        return Ptr(self.flat, self.offset + int(elems))
+
+    def block(self, shape: tuple, elem_offset: int = 0) -> np.ndarray:
+        """A contiguous (writable) block view starting at this pointer."""
+        size = int(np.prod(shape))
+        start = self.offset + elem_offset
+        if start < 0 or start + size > self.flat.shape[0]:
+            raise IndexError(
+                f"block {shape} at offset {start} exceeds buffer of "
+                f"{self.flat.shape[0]} elements")
+        return self.flat[start:start + size].reshape(shape)
+
+    def batch(self, count: int, shape: tuple, stride: int) -> np.ndarray:
+        """A zero-copy (count, *shape) view of blocks *stride* elements apart.
+
+        This is exactly the access pattern of the stride-based BRGEMM:
+        ``address_A_i = address_A_{i-1} + stride_A``.
+        """
+        size = int(np.prod(shape))
+        if count <= 0:
+            raise ValueError(f"batch count must be positive, got {count}")
+        last = self.offset + (count - 1) * stride + size
+        if self.offset < 0 or last > self.flat.shape[0] or (
+                stride < 0 and self.offset + (count - 1) * stride < 0):
+            raise IndexError(
+                f"batch of {count} blocks {shape} stride {stride} from offset "
+                f"{self.offset} exceeds buffer of {self.flat.shape[0]} elements")
+        itemsize = self.flat.itemsize
+        inner = [itemsize * int(np.prod(shape[i + 1:])) for i in range(len(shape))]
+        return np.lib.stride_tricks.as_strided(
+            self.flat[self.offset:],
+            shape=(count, *shape),
+            strides=(stride * itemsize, *inner),
+            writeable=False,
+        )

@@ -1,0 +1,115 @@
+"""Reduction Tensor Processing Primitives.
+
+Row/column/full reductions (sum, max, mean, squared-sum) over a 2D block.
+These are the building blocks of the softmax and layernorm equation TPPs
+and of the norm computations the paper lists among DL/HPC kernel classes
+(§I: "tensor norm computations").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import TPP, TPPSignature
+from .dtypes import Precision
+
+__all__ = ["ReduceTPP", "ReduceKind", "ReduceAxis"]
+
+
+class ReduceKind:
+    SUM = "sum"
+    MAX = "max"
+    MIN = "min"
+    MEAN = "mean"
+    SQSUM = "sqsum"  # sum of squares
+    ABSMAX = "absmax"
+
+    ALL = (SUM, MAX, MIN, MEAN, SQSUM, ABSMAX)
+
+
+class ReduceAxis:
+    ROWS = "rows"  # reduce over rows -> length-n result
+    COLS = "cols"  # reduce over cols -> length-m result
+    FULL = "full"  # reduce to a scalar
+
+    ALL = (ROWS, COLS, FULL)
+
+
+_NUMPY_OP = {
+    ReduceKind.SUM: lambda x, axis: np.sum(x, axis=axis),
+    ReduceKind.MAX: lambda x, axis: np.max(x, axis=axis),
+    ReduceKind.MIN: lambda x, axis: np.min(x, axis=axis),
+    ReduceKind.MEAN: lambda x, axis: np.mean(x, axis=axis),
+    ReduceKind.SQSUM: lambda x, axis: np.sum(x * x, axis=axis),
+    ReduceKind.ABSMAX: lambda x, axis: np.max(np.abs(x), axis=axis),
+}
+
+_AXIS = {ReduceAxis.ROWS: 0, ReduceAxis.COLS: 1, ReduceAxis.FULL: None}
+
+
+class ReduceTPP(TPP):
+    """Reduction over a 2D (m, n) block.
+
+    ``axis=ROWS`` reduces the m dimension producing a length-n vector,
+    ``axis=COLS`` reduces the n dimension producing a length-m vector, and
+    ``axis=FULL`` produces a scalar (returned as a 0-d array).
+    """
+
+    name = "reduce"
+
+    def __init__(self, m: int, n: int, kind: str = ReduceKind.SUM,
+                 axis: str = ReduceAxis.ROWS,
+                 precision: Precision = Precision()):
+        super().__init__(precision)
+        if kind not in ReduceKind.ALL:
+            raise ValueError(f"unknown reduce kind {kind!r}")
+        if axis not in ReduceAxis.ALL:
+            raise ValueError(f"unknown reduce axis {axis!r}")
+        if m <= 0 or n <= 0:
+            raise ValueError(f"TPP block dims must be positive, got {m}x{n}")
+        self.m = int(m)
+        self.n = int(n)
+        self.kind = kind
+        self.axis = axis
+
+    @property
+    def signature(self) -> TPPSignature:
+        return TPPSignature(self.name, (self.m, self.n), self.precision,
+                            (self.kind, self.axis))
+
+    @property
+    def out_shape(self) -> tuple:
+        return {ReduceAxis.ROWS: (self.n,),
+                ReduceAxis.COLS: (self.m,),
+                ReduceAxis.FULL: ()}[self.axis]
+
+    def flop_count(self) -> int:
+        per_elem = 2 if self.kind == ReduceKind.SQSUM else 1
+        return per_elem * self.m * self.n
+
+    def bytes_moved(self) -> int:
+        out_elems = int(np.prod(self.out_shape)) if self.out_shape else 1
+        return (self.m * self.n * self.precision.inp.nbytes
+                + out_elems * self.precision.out.nbytes)
+
+    def _execute(self, inp: np.ndarray, out: np.ndarray | None = None,
+                 accumulate: bool = False) -> np.ndarray:
+        if inp.shape != (self.m, self.n):
+            raise ValueError(
+                f"reduce TPP expects block ({self.m},{self.n}), got {inp.shape}")
+        result = _NUMPY_OP[self.kind](self._in(inp), _AXIS[self.axis])
+        result = np.asarray(result, dtype=self.precision.comp.np)
+        if out is None:
+            return self._out(result)
+        if out.shape != self.out_shape:
+            raise ValueError(
+                f"reduce output shape {out.shape} != expected {self.out_shape}")
+        if accumulate:
+            if self.kind in (ReduceKind.MAX, ReduceKind.ABSMAX):
+                result = np.maximum(self._in(out), result)
+            elif self.kind == ReduceKind.MIN:
+                result = np.minimum(self._in(out), result)
+            else:
+                result = self._in(out) + result
+        self._store(out, result)
+        return out

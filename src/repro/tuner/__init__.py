@@ -1,0 +1,14 @@
+"""Auto-tuning infrastructure: constrained loop_spec_string generation and
+offline candidate search (Fig 1 Box B2, §II-D)."""
+
+from .constraints import TuningConstraints, prefix_products, prime_factors
+from .generator import Candidate, generate_candidates
+from .search import (SearchResult, TuneOutcome, engine_evaluator,
+                     perfmodel_evaluator, search)
+
+__all__ = [
+    "TuningConstraints", "prime_factors", "prefix_products",
+    "Candidate", "generate_candidates",
+    "TuneOutcome", "SearchResult", "search",
+    "perfmodel_evaluator", "engine_evaluator",
+]

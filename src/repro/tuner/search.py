@@ -1,0 +1,101 @@
+"""Offline candidate search (Fig 1 Box B2 -> Arrow 1).
+
+Candidates are benchmarked by an *evaluator* — the lightweight perf model
+(cheap, cross-architecture, §II-E) or the full engine — and ranked; the
+best spec string becomes the runtime knob.  Zero lines of user kernel code
+change across candidates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.errors import SpecError
+from ..platform.machine import MachineModel
+from ..simulator.engine import simulate
+from ..simulator.perfmodel import predict
+from .generator import Candidate
+
+__all__ = ["TuneOutcome", "SearchResult", "search",
+           "perfmodel_evaluator", "engine_evaluator"]
+
+
+@dataclass(frozen=True)
+class TuneOutcome:
+    """One evaluated candidate."""
+
+    candidate: Candidate
+    score: float              # higher is better (GFLOPS)
+    seconds: float            # predicted/simulated kernel time
+    valid: bool = True
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Ranked tuning outcomes plus the cost of the search itself."""
+
+    outcomes: tuple           # sorted by score, best first
+    evaluated: int
+    skipped: int
+    wall_seconds: float
+
+    @property
+    def best(self) -> TuneOutcome:
+        if not self.outcomes:
+            raise ValueError("search produced no valid outcomes")
+        return self.outcomes[0]
+
+    def top(self, k: int) -> tuple:
+        return self.outcomes[:k]
+
+
+def perfmodel_evaluator(base_specs, sim_body, machine: MachineModel,
+                        num_threads: int | None = None,
+                        sample_threads: int | None = 4,
+                        total_flops: float | None = None):
+    """Evaluator using the Box-B3 model — the paper's cheap tuning path.
+
+    Pass ``total_flops`` (the instantiation-independent kernel flop
+    count) whenever sampling, so starved schedules are not over-credited.
+    """
+    def evaluate(candidate: Candidate) -> TuneOutcome:
+        loop = candidate.build_loop(base_specs, num_threads=num_threads)
+        pred = predict(loop, sim_body, machine,
+                       sample_threads=sample_threads,
+                       total_flops=total_flops)
+        return TuneOutcome(candidate, pred.score, pred.seconds)
+    return evaluate
+
+
+def engine_evaluator(base_specs, sim_body, machine: MachineModel,
+                     num_threads: int | None = None):
+    """Evaluator using the full engine — the 'benchmark offline' path."""
+    def evaluate(candidate: Candidate) -> TuneOutcome:
+        loop = candidate.build_loop(base_specs, num_threads=num_threads)
+        res = simulate(loop, sim_body, machine)
+        return TuneOutcome(candidate, res.gflops, res.seconds)
+    return evaluate
+
+
+def search(candidates, evaluator, top_k: int | None = None) -> SearchResult:
+    """Evaluate candidates, skipping ones invalid for these loop bounds
+    (imperfect blocking chains etc.), and rank by score."""
+    t0 = time.perf_counter()
+    outcomes = []
+    skipped = 0
+    for cand in candidates:
+        try:
+            outcomes.append(evaluator(cand))
+        except SpecError as exc:
+            skipped += 1
+            outcomes.append(TuneOutcome(cand, float("-inf"), float("inf"),
+                                        valid=False, error=str(exc)))
+    wall = time.perf_counter() - t0
+    ranked = tuple(sorted((o for o in outcomes if o.valid),
+                          key=lambda o: o.score, reverse=True))
+    if top_k is not None:
+        ranked = ranked[:top_k]
+    return SearchResult(ranked, evaluated=len(outcomes) - skipped,
+                        skipped=skipped, wall_seconds=wall)

@@ -1,0 +1,32 @@
+"""End-to-end DL workloads via the PARLOOPER/TPP paradigm (§IV)."""
+
+from .dlrm import (DLRM_RM1, DLRM_RM2, DlrmConfig, TinyDlrm,
+                   dlrm_inference_throughput)
+from .bert import (BERT_BASE, BERT_LARGE, BertConfig, BertEmbeddings,
+                   BertLayer, bert_inference_performance,
+                   bert_training_performance)
+from .llm import (GPTJ_6B, LLAMA2_13B, LlmConfig, LlmLatency, TinyDecoder,
+                  llm_inference_latency)
+from .opsim import OpCostModel
+from .pruning import (BlockPruner, DistillationTrainer, SparsitySchedule,
+                      TwoLayerNet, make_synthetic_task)
+from .resnet import (RESNET50_CONV_LAYERS, Rn50Layer, resnet50_conv_specs,
+                     resnet50_flops, resnet50_training_throughput)
+from .sparse_bert import (PAPER_SPARSE_F1, SparseBertResult,
+                          sparse_bert_inference, sparse_bert_roofline)
+
+__all__ = [
+    "BertConfig", "BERT_BASE", "BERT_LARGE", "BertLayer", "BertEmbeddings",
+    "bert_training_performance", "bert_inference_performance",
+    "LlmConfig", "GPTJ_6B", "LLAMA2_13B", "LlmLatency", "TinyDecoder",
+    "llm_inference_latency",
+    "OpCostModel",
+    "BlockPruner", "SparsitySchedule", "DistillationTrainer",
+    "TwoLayerNet", "make_synthetic_task",
+    "RESNET50_CONV_LAYERS", "Rn50Layer", "resnet50_conv_specs",
+    "resnet50_flops", "resnet50_training_throughput",
+    "SparseBertResult", "sparse_bert_inference", "sparse_bert_roofline",
+    "PAPER_SPARSE_F1",
+    "DlrmConfig", "DLRM_RM1", "DLRM_RM2", "TinyDlrm",
+    "dlrm_inference_throughput",
+]

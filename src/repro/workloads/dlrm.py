@@ -1,0 +1,150 @@
+"""DLRM recommendation-model workload — the paper's named future work
+(§VII: "we plan to integrate the standalone kernels we developed in
+additional end-to-end workloads (e.g. DLRM)").
+
+DLRM (Naumov et al. [30]) combines:
+
+* **embedding lookups** over many sparse categorical features — pure
+  memory gathers, priced at DRAM bandwidth;
+* a **bottom MLP** over the dense features and a **top MLP** over the
+  interaction output — exactly the §III-A cascading-GEMM kernel;
+* a **feature interaction** (pairwise dot products between embedding
+  vectors and the bottom-MLP output) — a small batched GEMM.
+
+The functional path reuses :class:`~repro.kernels.mlp.ParlooperMlp`; the
+performance path composes :class:`~repro.workloads.opsim.OpCostModel`
+operator prices, so embedding-bound vs MLP-bound regimes fall out of the
+configuration, as in the DLRM literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.stacks import STACKS
+from ..platform.machine import MachineModel
+from ..tpp.dtypes import DType
+from .opsim import OpCostModel
+
+__all__ = ["DlrmConfig", "DLRM_RM1", "DLRM_RM2", "TinyDlrm",
+           "dlrm_inference_throughput"]
+
+
+@dataclass(frozen=True)
+class DlrmConfig:
+    """DLRM hyperparameters (MLPerf-style RM1/RM2 presets below)."""
+
+    name: str
+    dense_features: int
+    sparse_features: int          # number of embedding tables
+    embedding_dim: int
+    rows_per_table: int
+    bottom_mlp: tuple             # hidden sizes, ending at embedding_dim
+    top_mlp: tuple                # hidden sizes, ending at 1
+
+    @property
+    def interaction_inputs(self) -> int:
+        return self.sparse_features + 1   # tables + bottom-MLP output
+
+    @property
+    def interaction_features(self) -> int:
+        n = self.interaction_inputs
+        return n * (n - 1) // 2           # upper-triangular dot products
+
+
+DLRM_RM1 = DlrmConfig("DLRM-RM1", 13, 26, 64, 1_000_000,
+                      bottom_mlp=(512, 256, 64),
+                      top_mlp=(512, 256, 1))
+DLRM_RM2 = DlrmConfig("DLRM-RM2", 13, 26, 128, 5_000_000,
+                      bottom_mlp=(512, 256, 128),
+                      top_mlp=(1024, 1024, 512, 256, 1))
+
+
+class TinyDlrm:
+    """Small functional DLRM for numeric validation.
+
+    Embeddings + bottom MLP + pairwise interaction + top MLP, all dense
+    NumPy; the kernels it models are the PARLOOPER MLP/GEMM paths.
+    """
+
+    def __init__(self, config: DlrmConfig, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.cfg = config
+        d = config.embedding_dim
+        self.tables = [rng.standard_normal(
+            (64, d)).astype(np.float32) * 0.05
+            for _ in range(config.sparse_features)]
+
+        def mlp(sizes, in_dim):
+            ws = []
+            prev = in_dim
+            for s in sizes:
+                ws.append((rng.standard_normal((s, prev)) *
+                           np.sqrt(2.0 / prev)).astype(np.float32))
+                prev = s
+            return ws
+
+        self.bottom = mlp(config.bottom_mlp, config.dense_features)
+        top_in = config.interaction_features + d
+        self.top = mlp(config.top_mlp, top_in)
+
+    @staticmethod
+    def _run_mlp(ws, x, final_linear=True):
+        for i, w in enumerate(ws):
+            x = x @ w.T
+            if i < len(ws) - 1 or not final_linear:
+                x = np.maximum(x, 0)
+        return x
+
+    def forward(self, dense: np.ndarray, sparse_ids: np.ndarray
+                ) -> np.ndarray:
+        """dense (B, dense_features); sparse_ids (B, sparse_features)."""
+        b = dense.shape[0]
+        bot = self._run_mlp(self.bottom, dense, final_linear=False)
+        embs = [t[sparse_ids[:, i]] for i, t in enumerate(self.tables)]
+        feats = np.stack([bot] + embs, axis=1)       # (B, n, d)
+        gram = np.einsum("bnd,bmd->bnm", feats, feats)
+        iu = np.triu_indices(self.cfg.interaction_inputs, k=1)
+        inter = gram[:, iu[0], iu[1]]                # (B, pairs)
+        top_in = np.concatenate([bot, inter], axis=1)
+        logit = self._run_mlp(self.top, top_in)
+        return 1.0 / (1.0 + np.exp(-logit.reshape(b)))
+
+
+def dlrm_inference_throughput(config: DlrmConfig, machine: MachineModel,
+                              stack_name: str = "parlooper",
+                              batch: int = 2048,
+                              dtype: DType = DType.BF16,
+                              lookups_per_table: int = 1) -> float:
+    """Queries/second for batched DLRM inference.
+
+    Embedding gathers are DRAM-random reads (one ``embedding_dim`` vector
+    per lookup); the MLPs use the GEMM price; the interaction is a small
+    batched GEMM per sample.
+    """
+    stack = STACKS[stack_name]
+    cost = OpCostModel(machine, stack)
+    d = config.embedding_dim
+
+    t = 0.0
+    # embedding lookups: random gathers achieve a fraction of stream bw
+    gather_bytes = batch * config.sparse_features * lookups_per_table \
+        * d * dtype.nbytes
+    t += cost.bandwidth_seconds(gather_bytes) / 0.4  # gather inefficiency
+
+    # bottom MLP (cascading GEMMs, M = layer size, N = batch)
+    prev = config.dense_features
+    for size in config.bottom_mlp:
+        t += cost.gemm_seconds(size, batch, prev, dtype)
+        prev = size
+    # interaction: per-sample (n x d) x (d x n) gram — batched tiny GEMMs
+    n = config.interaction_inputs
+    t += cost.batched_gemm_seconds(n, n, d, dtype, count=batch)
+    # top MLP
+    prev = config.interaction_features + d
+    for size in config.top_mlp:
+        t += cost.gemm_seconds(size, batch, prev, dtype)
+        prev = size
+    return batch / t

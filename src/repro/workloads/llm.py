@@ -1,0 +1,198 @@
+"""Decoder-only LLM inference pipelines (GPT-J-6B, Llama2-13B) — §IV-A/Fig 11.
+
+"By composing the aforementioned Transformer building-blocks in different
+ways we can build inference LLM architectures/pipelines like GPT-J and
+Llama2."  Two regimes, as in the paper:
+
+* **first token** (prompt processing, 1024 input tokens): compute-bound
+  GEMMs over the full prompt;
+* **next tokens** (auto-regressive, 32 output tokens, BS=1): GEMV-shaped
+  work whose time is dominated by streaming the weights (and the growing
+  KV cache) from DRAM — which is why BF16 helps ~2x there (half the
+  bytes) but ~5.7x on the first token (AMX compute).
+
+A small functional decoder with a KV cache validates the numerics; the
+performance path composes operator times via :class:`OpCostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.stacks import STACKS
+from ..platform.machine import MachineModel
+from ..tpp.dtypes import DType
+from ..tpp.softmax import SoftmaxTPP
+from .opsim import OpCostModel
+
+__all__ = ["LlmConfig", "GPTJ_6B", "LLAMA2_13B", "TinyDecoder",
+           "llm_inference_latency", "LlmLatency"]
+
+
+@dataclass(frozen=True)
+class LlmConfig:
+    """Decoder-only transformer hyperparameters."""
+
+    name: str
+    layers: int
+    hidden: int
+    heads: int
+    intermediate: int
+    vocab: int
+    #: MLP weight matrices per layer: 2 for GELU blocks (GPT-J),
+    #: 3 for SwiGLU blocks (Llama2: gate + up + down)
+    mlp_matrices: int = 2
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.heads
+
+    @property
+    def n_params(self) -> float:
+        """Approximate parameter count (attention + MLP + embeddings)."""
+        h, i = self.hidden, self.intermediate
+        per_layer = 4 * h * h + self.mlp_matrices * h * i
+        return self.layers * per_layer + 2 * self.vocab * h
+
+    def weight_bytes(self, dtype: DType) -> float:
+        return self.n_params * dtype.nbytes
+
+
+GPTJ_6B = LlmConfig("GPT-J-6B", 28, 4096, 16, 16384, 50400)
+LLAMA2_13B = LlmConfig("Llama2-13B", 40, 5120, 40, 13824, 32000,
+                       mlp_matrices=3)
+
+
+@dataclass(frozen=True)
+class LlmLatency:
+    """Fig 11's two bar portions."""
+
+    first_token_s: float
+    per_next_token_s: float
+    n_next: int
+
+    @property
+    def total_s(self) -> float:
+        return self.first_token_s + self.n_next * self.per_next_token_s
+
+
+def llm_inference_latency(config: LlmConfig, machine: MachineModel,
+                          stack_name: str = "parlooper",
+                          dtype: DType = DType.BF16,
+                          prompt: int = 1024, new_tokens: int = 32
+                          ) -> LlmLatency:
+    """BS=1 latency split into first-token and next-token parts."""
+    stack = STACKS[stack_name]
+    cost = OpCostModel(machine, stack)
+    h, i, L = config.hidden, config.intermediate, config.layers
+    dh, nh = config.head_dim, config.heads
+
+    # ---- first token: full-prompt GEMMs --------------------------------
+    t1 = 0.0
+    t1 += L * 3 * cost.gemm_seconds(h, prompt, h, dtype)      # QKV
+    t1 += L * cost.gemm_seconds(h, prompt, h, dtype)          # attn out
+    t1 += L * (config.mlp_matrices - 1) \
+        * cost.gemm_seconds(i, prompt, h, dtype)               # MLP up(/gate)
+    t1 += L * cost.gemm_seconds(h, prompt, i, dtype)          # MLP down
+    t1 += L * cost.batched_gemm_seconds(prompt, prompt, dh, dtype,
+                                        count=2 * nh)
+    t1 += L * cost.eltwise_seconds(prompt * (2 * h + i), dtype, 3.0,
+                                   n_ops=4)
+    t1 += cost.gemm_seconds(config.vocab, 1, h, dtype)        # LM head
+
+    # ---- next tokens: bandwidth-bound GEMV + KV-cache attention --------
+    wbytes = config.weight_bytes(dtype)
+    t_w = cost.bandwidth_seconds(wbytes)              # stream all weights
+    kv_ctx = prompt + new_tokens // 2                 # average context
+    kv_bytes = L * 2 * kv_ctx * h * dtype.nbytes
+    t_kv = cost.bandwidth_seconds(kv_bytes)
+    # GEMV compute rarely binds, but reference stacks pay eager per-op
+    # overheads on every one of the ~9L ops of a decoder step
+    ops_per_step = 9 * L
+    overhead = ops_per_step * stack.op_overhead_us * 1e-6
+    t2 = t_w + t_kv + overhead
+    if dtype.is_low_precision and not stack.bf16_native:
+        # non-native path upconverts weights every step (fp32 traffic)
+        t2 = cost.bandwidth_seconds(config.weight_bytes(DType.F32) * 2) \
+            + t_kv + overhead
+    t2 /= stack.contraction_efficiency
+
+    return LlmLatency(t1, t2, new_tokens)
+
+
+class TinyDecoder:
+    """A small functional decoder-only transformer with a KV cache.
+
+    Numerically validates the pipeline the performance model prices:
+    pre-norm attention + MLP blocks, rotary-free, greedy decoding.
+    """
+
+    def __init__(self, config: LlmConfig, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.cfg = config
+        h, i = config.hidden, config.intermediate
+        sd = 1.0 / np.sqrt(h)
+
+        def w(*shape):
+            return (rng.standard_normal(shape) * sd).astype(np.float32)
+
+        self.layers = [
+            {"wq": w(h, h), "wk": w(h, h), "wv": w(h, h), "wo": w(h, h),
+             "w1": w(i, h), "w2": w(h, i)}
+            for _ in range(config.layers)
+        ]
+        self.emb = w(config.vocab, h)
+        self.head = w(config.vocab, h)
+
+    def _attend(self, lw, x, kv):
+        cfg = self.cfg
+        s, h = x.shape
+        nh, dh = cfg.heads, cfg.head_dim
+        q = (x @ lw["wq"].T).reshape(s, nh, dh)
+        k = (x @ lw["wk"].T).reshape(s, nh, dh)
+        v = (x @ lw["wv"].T).reshape(s, nh, dh)
+        if kv is not None:
+            k = np.concatenate([kv[0], k], axis=0)
+            v = np.concatenate([kv[1], v], axis=0)
+        ctx_len = k.shape[0]
+        out = np.empty((s, nh, dh), dtype=np.float32)
+        offset = ctx_len - s
+        for head in range(nh):
+            scores = (q[:, head] @ k[:, head].T) / np.sqrt(dh)
+            # causal mask relative to absolute positions
+            for qi in range(s):
+                scores[qi, offset + qi + 1:] = -1e9
+            SoftmaxTPP(s, ctx_len)(scores)
+            out[:, head] = scores @ v[:, head]
+        return out.reshape(s, h), (k, v)
+
+    @staticmethod
+    def _norm(x):
+        return x / np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + 1e-6)
+
+    def forward(self, token_ids, kv_caches=None):
+        """One forward pass over *token_ids*; returns logits + caches."""
+        x = self.emb[np.asarray(token_ids)]
+        new_caches = []
+        for li, lw in enumerate(self.layers):
+            kv = kv_caches[li] if kv_caches is not None else None
+            a, cache = self._attend(lw, self._norm(x), kv)
+            x = x + a @ lw["wo"].T
+            hmid = np.maximum(self._norm(x) @ lw["w1"].T, 0)
+            x = x + hmid @ lw["w2"].T
+            new_caches.append(cache)
+        logits = self._norm(x) @ self.head.T
+        return logits, new_caches
+
+    def generate(self, prompt_ids, n_new: int):
+        """Greedy decoding with KV cache."""
+        logits, caches = self.forward(prompt_ids)
+        out = list(prompt_ids)
+        nxt = int(np.argmax(logits[-1]))
+        for _ in range(n_new):
+            out.append(nxt)
+            logits, caches = self.forward([nxt], caches)
+            nxt = int(np.argmax(logits[-1]))
+        return out

@@ -1,0 +1,115 @@
+"""Tests for the modeled comparator baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (DEEPSPARSE_BERT_BASE, MOJO_BLOG_GEMMS, STACKS,
+                             AoclBaseline, OneDnnBaseline, TvmAnsorBaseline,
+                             deepsparse_result, mojo_result,
+                             parlooper_vs_mojo)
+from repro.kernels import ConvSpec, ParlooperGemm
+from repro.platform import ADL, GVT3, SPR, ZEN4
+from repro.tpp.dtypes import DType
+
+
+class TestOneDnn:
+    def test_fp32_roughly_on_par(self):
+        # Fig 2: "results for FP32 are mostly on par"
+        od = OneDnnBaseline().gemm(SPR, 2048, 2048, 2048, DType.F32)
+        pl = ParlooperGemm(2048, 2048, 2048,
+                           num_threads=112).simulate(SPR)
+        assert od.seconds / pl.seconds < 1.25
+
+    def test_bf16_ld4096_gap(self):
+        # Fig 2: "speedups up to 1.98x on SPR" for BF16 (ld-4096 case)
+        od = OneDnnBaseline().gemm(SPR, 2048, 4096, 2048, DType.BF16)
+        pl = ParlooperGemm(2048, 4096, 2048, dtype=DType.BF16,
+                           num_threads=112).simulate(SPR)
+        assert 1.3 < od.seconds / pl.seconds < 2.5
+
+    def test_acl_conversion_overhead_on_gvt3(self):
+        spec = ConvSpec(N=16, C=128, K=128, H=16, W=16, R=3, S=3)
+        od = OneDnnBaseline()
+        with_acl = od.conv(GVT3, spec, DType.BF16, w_step=14)
+        no_acl = OneDnnBaseline(acl_on_aarch64=False).conv(
+            GVT3, spec, DType.BF16, w_step=14)
+        assert with_acl.seconds > no_acl.seconds
+        assert "ACL" in with_acl.detail
+
+    def test_hybrid_static_penalty_on_adl(self):
+        spec = ConvSpec(N=1, C=128, K=128, H=16, W=16, R=3, S=3)
+        r = OneDnnBaseline().conv(ADL, spec, DType.F32, w_step=14)
+        assert "static hybrid" in r.detail
+
+
+class TestAocl:
+    def test_within_paper_band_on_zen4(self):
+        # Fig 2 bottom: all implementations within 4% on Zen4
+        a = AoclBaseline().gemm(ZEN4, 2048, 2048, 2048, DType.F32)
+        pl = ParlooperGemm(2048, 2048, 2048,
+                           num_threads=16).simulate(ZEN4)
+        assert a.seconds / pl.seconds < 1.06
+
+    def test_rejects_other_platforms(self):
+        with pytest.raises(ValueError):
+            AoclBaseline().gemm(SPR, 512, 512, 512, DType.F32)
+
+
+class TestTvm:
+    def test_small_gemm_gap_in_paper_band(self):
+        t = TvmAnsorBaseline().gemm(SPR, 1024, 1024, 1024, DType.F32)
+        pl = ParlooperGemm(1024, 1024, 1024,
+                           num_threads=112).simulate(SPR)
+        assert 1.1 < t.seconds / pl.seconds < 2.0
+
+    def test_large_gemm_parity(self):
+        t = TvmAnsorBaseline().gemm(SPR, 4096, 4096, 4096, DType.F32)
+        pl = ParlooperGemm(4096, 4096, 4096,
+                           num_threads=112).simulate(SPR)
+        assert t.seconds / pl.seconds < 1.2
+
+    def test_bf16_has_no_accelerated_path(self):
+        # §V-A2: TVM cannot emit AMX; PARLOOPER BF16 is many times faster
+        t = TvmAnsorBaseline().gemm(SPR, 2048, 2048, 2048, DType.BF16)
+        pl = ParlooperGemm(2048, 2048, 2048, dtype=DType.BF16,
+                           num_threads=112).simulate(SPR)
+        assert t.seconds / pl.seconds > 4.0
+        assert "replacement" in t.detail
+
+    def test_tuning_time_ratio(self):
+        # Fig 4: TVM's 1000-trial search takes tens of minutes
+        rep = TvmAnsorBaseline(trials=1000).tuning_report()
+        assert 15 * 60 < rep.total_seconds < 60 * 60
+
+
+class TestMojo:
+    def test_geomean_speedup_matches_paper(self):
+        ratios = [parlooper_vs_mojo(sh).gflops / sh.mojo_gflops
+                  for sh in MOJO_BLOG_GEMMS]
+        geomean = float(np.exp(np.mean(np.log(ratios))))
+        assert 1.2 < geomean < 1.5   # paper: 1.35x
+
+    def test_parlooper_wins_every_shape(self):
+        for sh in MOJO_BLOG_GEMMS:
+            assert parlooper_vs_mojo(sh).gflops > sh.mojo_gflops
+
+    def test_mojo_result_units(self):
+        sh = MOJO_BLOG_GEMMS[0]
+        r = mojo_result(sh)
+        assert r.seconds == pytest.approx(
+            2 * sh.M * sh.N * sh.K / (sh.mojo_gflops * 1e9))
+
+
+class TestStacksAndDeepSparse:
+    def test_stack_registry(self):
+        assert STACKS["parlooper"].fused
+        assert not STACKS["ipex"].unpad
+        assert not STACKS["hf"].fused
+        assert STACKS["tpp_static"].contraction_efficiency < 1.0
+        assert not STACKS["hf_aarch64_bf16"].bf16_native
+
+    def test_deepsparse_data(self):
+        r = deepsparse_result()
+        assert r.seconds == pytest.approx(
+            1.0 / DEEPSPARSE_BERT_BASE["items_per_second"])
+        assert DEEPSPARSE_BERT_BASE["f1"] == 87.1

@@ -1,0 +1,66 @@
+"""Tests for the bench harness utilities and paper reference data."""
+
+import pytest
+
+from repro.bench import PAPER, ExperimentTable, fmt
+
+
+class TestFmt:
+    def test_none(self):
+        assert fmt(None) == "-"
+
+    def test_string_passthrough(self):
+        assert fmt("abc") == "abc"
+
+    def test_small_number(self):
+        assert fmt(1.234) == "1.23"
+
+    def test_large_number_grouped(self):
+        assert fmt(12345.6) == "12,346"
+
+    def test_unit_suffix(self):
+        assert fmt(2.5, "x") == "2.50x"
+
+
+class TestExperimentTable:
+    def test_add_and_render(self):
+        t = ExperimentTable("T", ["a", "b"])
+        t.add("x", 1.5)
+        t.add("y", 2.0)
+        out = t.render()
+        assert "== T ==" in out
+        assert "x" in out and "1.50" in out
+
+    def test_row_arity_checked(self):
+        t = ExperimentTable("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add("only-one")
+
+    def test_notes_rendered(self):
+        t = ExperimentTable("T", ["a"])
+        t.add(1)
+        t.note("hello")
+        assert "note: hello" in t.render()
+
+    def test_column_alignment(self):
+        t = ExperimentTable("T", ["col"])
+        t.add("longvalue")
+        lines = t.render().splitlines()
+        assert len(lines[1]) == len(lines[3])  # header width == row width
+
+
+class TestPaperData:
+    def test_every_experiment_present(self):
+        for key in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                    "fig9", "fig10", "fig11", "table1", "table2"):
+            assert key in PAPER, key
+
+    def test_headline_numbers(self):
+        assert PAPER["fig9"]["spr_parlooper"] == 43.3
+        assert PAPER["fig10"]["vs_deepsparse"] == 1.56
+        assert PAPER["table1"]["spr_8node_min"] == 85.91
+        assert PAPER["table2"]["spr_parlooper"] == 255
+        assert PAPER["fig5"]["geomean_speedup"] == 1.35
+
+    def test_fig7_covers_all_platforms(self):
+        assert set(PAPER["fig7"]) == {"SPR", "GVT3", "Zen4", "ADL"}

@@ -1,0 +1,141 @@
+"""Deeper tests of the generated code and the runtime: source structure,
+threaded execution with dynamic schedules, context machinery."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (ExecutionError, LoopSpecs, NestContext, ThreadedLoop,
+                        build_plan, compile_nest, generate_source, run_nest)
+
+
+class TestGeneratedSource:
+    def test_constants_baked_in(self):
+        plan = build_plan([LoopSpecs(5, 25, 5)], "a")
+        src = generate_source(plan)
+        assert "range(5, 25, 5)" in src
+
+    def test_no_runtime_lookups_in_hot_loop(self):
+        # spec-string metadata must not be consulted inside the nest
+        plan = build_plan([LoopSpecs(0, 8, 1), LoopSpecs(0, 8, 1)], "aB")
+        src = generate_source(plan)
+        assert "parse" not in src and "plan" not in src
+
+    def test_docstring_carries_spec(self):
+        plan = build_plan([LoopSpecs(0, 4, 1)], "a")
+        assert "'a'" in generate_source(plan)
+
+    def test_compile_returns_callable(self):
+        plan = build_plan([LoopSpecs(0, 4, 1)], "A")
+        nest = compile_nest(plan)
+        seen = []
+        nest.func(0, 2, lambda ind: seen.append(ind[0]), None, None,
+                  NestContext(2))
+        assert seen == [0, 1]
+
+    def test_body_calls_total(self):
+        plan = build_plan([LoopSpecs(0, 8, 2), LoopSpecs(0, 6, 1, [3])],
+                          "abb")
+        assert plan.body_calls_total() == 4 * 6
+
+    def test_dynamic_epoch_variables_emitted(self):
+        plan = build_plan([LoopSpecs(0, 4, 1), LoopSpecs(0, 8, 1)],
+                          "aB @ schedule(dynamic, 2)")
+        src = generate_source(plan)
+        assert "_epoch" in src and "(a0,)" in src
+
+
+class TestThreadedExecution:
+    def test_threads_dynamic_exact_coverage(self):
+        specs = [LoopSpecs(0, 4, 1), LoopSpecs(0, 16, 1)]
+        loop = ThreadedLoop(specs, "aB @ schedule(dynamic, 1)",
+                            num_threads=4, execution="threads")
+        lock = threading.Lock()
+        seen = []
+
+        def body(ind):
+            with lock:
+                seen.append(tuple(ind))
+
+        loop(body)
+        assert len(seen) == 64
+        assert len(set(seen)) == 64
+
+    def test_threads_grid_coverage(self):
+        specs = [LoopSpecs(0, 8, 1), LoopSpecs(0, 8, 1)]
+        loop = ThreadedLoop(specs, "A{R:2}B{C:2}", execution="threads")
+        lock = threading.Lock()
+        seen = []
+        loop(lambda ind: (lock.acquire(), seen.append(tuple(ind)),
+                          lock.release()))
+        assert len(set(seen)) == 64
+
+    def test_run_nest_validates_mode(self):
+        plan = build_plan([LoopSpecs(0, 2, 1)], "a")
+        nest = compile_nest(plan)
+        with pytest.raises(ExecutionError):
+            run_nest(nest.func, 1, lambda i: None, execution="fibers")
+
+    def test_run_nest_validates_threads(self):
+        plan = build_plan([LoopSpecs(0, 2, 1)], "a")
+        nest = compile_nest(plan)
+        with pytest.raises(ExecutionError):
+            run_nest(nest.func, 0, lambda i: None)
+
+    def test_grid_thread_mismatch(self):
+        plan = build_plan([LoopSpecs(0, 8, 1)], "A{R:4}")
+        nest = compile_nest(plan)
+        with pytest.raises(ExecutionError):
+            run_nest(nest.func, 3, lambda i: None, grid=(4, 1, 1))
+
+
+class TestNestContext:
+    def test_dynamic_chunks_disjoint_and_complete(self):
+        ctx = NestContext(4)
+        got = []
+        while True:
+            c = ctx.next_chunk(0, (), 10, 3)
+            if c is None:
+                break
+            got.append(c)
+        assert got == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_epochs_independent(self):
+        ctx = NestContext(2)
+        assert ctx.next_chunk(0, (0,), 4, 4) == (0, 4)
+        assert ctx.next_chunk(0, (1,), 4, 4) == (0, 4)  # new epoch restarts
+        assert ctx.next_chunk(0, (0,), 4, 4) is None
+
+    def test_serial_barrier_noop(self):
+        ctx = NestContext(4, use_real_barrier=False)
+        ctx.barrier()  # must not block
+
+    @given(st.integers(1, 8), st.integers(1, 50), st.integers(1, 7))
+    @settings(max_examples=50, deadline=None)
+    def test_chunk_property(self, nthreads, total, chunk):
+        ctx = NestContext(nthreads)
+        covered = []
+        while True:
+            c = ctx.next_chunk(9, (), total, chunk)
+            if c is None:
+                break
+            covered.extend(range(*c))
+        assert covered == list(range(total))
+
+
+class TestWithSpecContract:
+    def test_retuning_is_zero_code_change(self):
+        specs = [LoopSpecs(0, 8, 1, [4]), LoopSpecs(0, 8, 1, [4])]
+        base = ThreadedLoop(specs, "ab", num_threads=1)
+        outs = {}
+        for s in ("ab", "ba", "aabb", "aB", "Ba"):
+            loop = base.with_spec(s, num_threads=2 if s not in ("ab", "ba",
+                                                                "aabb")
+                                  else None)
+            seen = []
+            loop(lambda ind: seen.append(tuple(ind)))
+            outs[s] = sorted(seen)
+        ref = outs["ab"]
+        assert all(v == ref for v in outs.values())

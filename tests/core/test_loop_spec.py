@@ -1,0 +1,66 @@
+"""Tests for LoopSpecs declarations."""
+
+import pytest
+
+from repro.core import LoopSpecs, SpecError
+
+
+class TestLoopSpecs:
+    def test_basic_construction(self):
+        s = LoopSpecs(0, 64, 4)
+        assert s.start == 0 and s.bound == 64 and s.step == 4
+        assert s.trip_count == 16
+
+    def test_block_steps_stored(self):
+        s = LoopSpecs(0, 64, 2, [16, 4])
+        assert s.block_steps == (16, 4)
+
+    def test_trip_count_rounds_up(self):
+        assert LoopSpecs(0, 10, 4).trip_count == 3
+
+    def test_nonpositive_step_rejected(self):
+        with pytest.raises(SpecError):
+            LoopSpecs(0, 8, 0)
+        with pytest.raises(SpecError):
+            LoopSpecs(0, 8, -2)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(SpecError):
+            LoopSpecs(4, 4, 1)
+        with pytest.raises(SpecError):
+            LoopSpecs(8, 4, 1)
+
+    def test_imperfect_blocking_rejected(self):
+        # 6 % 4 != 0 breaks the perfect-nesting chain
+        with pytest.raises(SpecError):
+            LoopSpecs(0, 64, 2, [6, 4])
+        # final block step must be a multiple of step
+        with pytest.raises(SpecError):
+            LoopSpecs(0, 64, 4, [6])
+
+    def test_perfect_chain_accepted(self):
+        LoopSpecs(0, 64, 2, [32, 8])
+        LoopSpecs(0, 64, 1, [16, 4, 2])
+
+    def test_steps_for_single_occurrence(self):
+        s = LoopSpecs(0, 64, 4, [16])
+        assert s.steps_for(1) == [4]
+
+    def test_steps_for_blocked(self):
+        s = LoopSpecs(0, 64, 2, [16, 4])
+        assert s.steps_for(3) == [16, 4, 2]
+        assert s.steps_for(2) == [16, 2]
+
+    def test_steps_for_too_many_occurrences(self):
+        s = LoopSpecs(0, 64, 2, [16])
+        with pytest.raises(SpecError):
+            s.steps_for(3)
+
+    def test_steps_for_zero(self):
+        with pytest.raises(SpecError):
+            LoopSpecs(0, 8, 1).steps_for(0)
+
+    def test_frozen(self):
+        s = LoopSpecs(0, 8, 1)
+        with pytest.raises(Exception):
+            s.start = 2

@@ -1,0 +1,169 @@
+"""Tests for the loop_spec_string grammar (RULE 1 / RULE 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SpecError, parse_spec_string
+
+
+class TestRule1OrderingAndBlocking:
+    def test_simple_order(self):
+        p = parse_spec_string("abc", 3)
+        assert [t.char for t in p.tokens] == ["a", "b", "c"]
+        assert p.par_mode == 0
+
+    def test_repeats_mean_blocking(self):
+        # "bcabcb": b blocked twice, c once, a not blocked (paper example)
+        p = parse_spec_string("bcabcb", 3)
+        assert len(p.occurrences("b")) == 3
+        assert len(p.occurrences("c")) == 2
+        assert len(p.occurrences("a")) == 1
+
+    def test_positions_are_nesting_depths(self):
+        p = parse_spec_string("bca", 3)
+        assert [t.position for t in p.tokens] == [0, 1, 2]
+
+    def test_all_loops_must_appear(self):
+        with pytest.raises(SpecError, match="missing"):
+            parse_spec_string("ab", 3)
+
+    def test_out_of_range_mnemonic(self):
+        with pytest.raises(SpecError, match="exceeds"):
+            parse_spec_string("abd", 3)
+
+    def test_invalid_characters(self):
+        with pytest.raises(SpecError):
+            parse_spec_string("a+b", 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecError):
+            parse_spec_string("", 3)
+        with pytest.raises(SpecError):
+            parse_spec_string("   ", 3)
+
+    def test_whitespace_tolerated(self):
+        p = parse_spec_string(" b c a ", 3)
+        assert [t.char for t in p.tokens] == ["b", "c", "a"]
+
+    def test_loop_chars_first_appearance_order(self):
+        p = parse_spec_string("cab", 3)
+        assert p.loop_chars == ["c", "a", "b"]
+
+
+class TestRule2Parallelization:
+    def test_uppercase_parallelizes(self):
+        p = parse_spec_string("bcaBcb", 3)
+        pars = [t for t in p.tokens if t.parallel]
+        assert len(pars) == 1
+        assert pars[0].char == "b" and pars[0].position == 3
+        assert p.par_mode == 1
+
+    def test_adjacent_uppercase_collapse(self):
+        p = parse_spec_string("bcaBCb", 3)
+        assert p.collapse_groups() == [[3, 4]]
+
+    def test_non_adjacent_uppercase_rejected(self):
+        # §II-B: capitalized characters must appear consecutively
+        with pytest.raises(SpecError, match="consecutive"):
+            parse_spec_string("BcaCb", 3)
+
+    def test_same_loop_parallelized_twice_rejected(self):
+        with pytest.raises(SpecError, match="parallelized more than once"):
+            parse_spec_string("BBca", 3)
+
+    def test_directives_after_at(self):
+        p = parse_spec_string("bcaBCb @ schedule(dynamic, 1)", 3)
+        assert p.schedule == "dynamic"
+        assert p.chunk == 1
+        assert "schedule" in p.directives
+
+    def test_static_chunked(self):
+        p = parse_spec_string("aB @ schedule(static, 4)", 2)
+        assert p.schedule == "static" and p.chunk == 4
+
+    def test_guided_degrades_to_dynamic(self):
+        p = parse_spec_string("aB @ schedule(guided)", 2)
+        assert p.schedule == "dynamic"
+
+    def test_default_schedule_static(self):
+        assert parse_spec_string("aB", 2).schedule == "static"
+
+
+class TestParMode2Grids:
+    def test_2d_grid(self):
+        # the paper's example: bC{R:16}aB{C:4}cb
+        p = parse_spec_string("bC{R:16}aB{C:4}cb", 3)
+        assert p.par_mode == 2
+        assert p.grid_shape == {"R": 16, "C": 4}
+
+    def test_1d_grid(self):
+        p = parse_spec_string("aB{R:8}c", 3)
+        assert p.grid_shape == {"R": 8}
+
+    def test_3d_grid(self):
+        p = parse_spec_string("A{R:2}B{C:2}C{D:2}", 3)
+        assert p.grid_shape == {"R": 2, "C": 2, "D": 2}
+
+    def test_grid_on_lowercase_rejected(self):
+        with pytest.raises(SpecError, match="upper-case"):
+            parse_spec_string("b{R:4}ac", 3)
+
+    def test_malformed_grid(self):
+        with pytest.raises(SpecError, match="malformed"):
+            parse_spec_string("B{R=4}ac", 3)
+        with pytest.raises(SpecError, match="malformed"):
+            parse_spec_string("B{X:4}ac", 3)
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(SpecError):
+            parse_spec_string("B{R:0}ac", 3)
+
+    def test_mixed_modes_rejected(self):
+        with pytest.raises(SpecError, match="mixing"):
+            parse_spec_string("B{R:4}aC", 3)
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(SpecError):
+            parse_spec_string("B{R:4}aC{R:2}", 3)
+
+    def test_axes_must_start_at_r(self):
+        with pytest.raises(SpecError, match="grid axes"):
+            parse_spec_string("B{C:4}ac", 3)
+
+
+class TestBarriers:
+    def test_barrier_flag(self):
+        p = parse_spec_string("aB|c", 3)
+        assert p.tokens[1].barrier_after
+        assert not p.tokens[0].barrier_after
+
+    def test_barrier_with_grid(self):
+        p = parse_spec_string("aB{R:4}|c", 3)
+        assert p.tokens[1].barrier_after
+        assert p.tokens[1].grid_ways == 4
+
+
+class TestValidation:
+    def test_num_loops_bounds(self):
+        with pytest.raises(SpecError):
+            parse_spec_string("a", 0)
+        with pytest.raises(SpecError):
+            parse_spec_string("a", 27)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(SpecError):
+            parse_spec_string(None, 3)
+
+    @given(st.permutations(["a", "b", "c"]))
+    @settings(max_examples=10, deadline=None)
+    def test_any_permutation_parses(self, perm):
+        p = parse_spec_string("".join(perm), 3)
+        assert sorted(p.loop_chars) == ["a", "b", "c"]
+
+    @given(st.lists(st.sampled_from("abc"), min_size=3, max_size=8)
+           .filter(lambda l: {"a", "b", "c"} <= set(l)))
+    @settings(max_examples=50, deadline=None)
+    def test_any_repetition_parses(self, chars):
+        p = parse_spec_string("".join(chars), 3)
+        assert len(p.tokens) == len(chars)

@@ -1,0 +1,284 @@
+"""Integration tests for ThreadedLoop: every instantiation of a logical
+nest must traverse exactly the same iteration space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (ExecutionError, LoopSpecs, NestCache, SpecError,
+                        ThreadedLoop)
+
+
+def collect(loop):
+    """Run a loop and return the multiset of visited logical indices."""
+    seen = []
+    loop(lambda ind: seen.append(tuple(ind)))
+    return seen
+
+
+def reference_space(specs):
+    """The logical iteration space, independent of instantiation."""
+    import itertools
+    ranges = [range(s.start, s.bound, s.step) for s in specs]
+    return set(itertools.product(*ranges))
+
+
+SPECS_3 = [
+    LoopSpecs(0, 4, 1, [2]),
+    LoopSpecs(0, 6, 1, [3, 1]),
+    LoopSpecs(0, 6, 1, [2]),
+]
+
+
+class TestCoverage:
+    """RULE 1: any ordering/blocking covers the space exactly once."""
+
+    @pytest.mark.parametrize("spec_str", [
+        "abc", "acb", "bac", "bca", "cab", "cba",
+        "aabc", "abbc", "abcc", "bcab", "bcabcb",
+    ])
+    def test_serial_permutations_and_blockings(self, spec_str):
+        loop = ThreadedLoop(SPECS_3, spec_str, num_threads=1)
+        seen = collect(loop)
+        assert len(seen) == 4 * 6 * 6
+        assert set(seen) == reference_space(SPECS_3)
+
+    @pytest.mark.parametrize("spec_str", [
+        "aBc", "Abc", "abC", "aBC", "ABc", "bcaBcb", "bcaBCb",
+    ])
+    @pytest.mark.parametrize("nthreads", [1, 2, 3, 4])
+    def test_parallel_covers_space_once(self, spec_str, nthreads):
+        loop = ThreadedLoop(SPECS_3, spec_str, num_threads=nthreads)
+        seen = collect(loop)
+        assert len(seen) == 4 * 6 * 6, f"{spec_str} @ {nthreads} threads"
+        assert set(seen) == reference_space(SPECS_3)
+
+    def test_parallel_disjoint_across_threads(self):
+        loop = ThreadedLoop(SPECS_3, "aBCc", num_threads=3)
+        per_thread: dict = {}
+        tid_holder = {"tid": None}
+
+        # exploit per-thread init_func ordering in serial emulation
+        counter = {"n": 0}
+
+        def init():
+            tid_holder["tid"] = counter["n"]
+            counter["n"] += 1
+
+        def body(ind):
+            per_thread.setdefault(tid_holder["tid"], []).append(tuple(ind))
+
+        loop(body, init_func=init)
+        all_pts = [p for pts in per_thread.values() for p in pts]
+        assert len(all_pts) == len(set(all_pts))  # no duplicates
+
+    def test_nonuniform_start_and_step(self):
+        specs = [LoopSpecs(2, 10, 2, [4]), LoopSpecs(1, 7, 3)]
+        loop = ThreadedLoop(specs, "aab", num_threads=1)
+        seen = collect(loop)
+        assert set(seen) == reference_space(specs)
+
+    @given(st.sampled_from(["abc", "aBc", "bAc", "caB", "bcaBCb", "aabbcc"]),
+           st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_any_spec_any_threads(self, spec_str, nthreads):
+        loop = ThreadedLoop(SPECS_3, spec_str, num_threads=nthreads)
+        seen = collect(loop)
+        assert sorted(seen) == sorted(reference_space(SPECS_3))
+
+
+class TestParMode2:
+    def test_paper_grid_example(self):
+        specs = [
+            LoopSpecs(0, 8, 1, [4]),
+            LoopSpecs(0, 16, 1, [4, 2]),
+            LoopSpecs(0, 8, 1, [4]),
+        ]
+        loop = ThreadedLoop(specs, "bC{R:2}aB{C:2}cb")
+        assert loop.num_threads == 4
+        seen = collect(loop)
+        assert sorted(seen) == sorted(reference_space(specs))
+
+    def test_1d_grid(self):
+        loop = ThreadedLoop(SPECS_3, "aB{R:3}c")
+        assert loop.num_threads == 3
+        assert sorted(collect(loop)) == sorted(reference_space(SPECS_3))
+
+    def test_3d_grid(self):
+        specs = [LoopSpecs(0, 4, 1), LoopSpecs(0, 4, 1), LoopSpecs(0, 4, 1)]
+        loop = ThreadedLoop(specs, "A{R:2}B{C:2}C{D:2}")
+        assert loop.num_threads == 8
+        assert sorted(collect(loop)) == sorted(reference_space(specs))
+
+    def test_thread_count_must_match_grid(self):
+        with pytest.raises(SpecError, match="grid"):
+            ThreadedLoop(SPECS_3, "aB{R:3}c", num_threads=5)
+
+    def test_ways_beyond_trip_count_rejected(self):
+        with pytest.raises(SpecError, match="ways"):
+            ThreadedLoop(SPECS_3, "aB{R:12}c")
+
+    def test_block_distribution_is_contiguous(self):
+        # each grid rank gets one contiguous chunk of the parallel loop
+        specs = [LoopSpecs(0, 8, 1)]
+        loop = ThreadedLoop(specs, "A{R:4}")
+        rank_chunks: dict = {}
+        counter = {"n": -1}
+
+        def init():
+            counter["n"] += 1
+
+        loop(lambda ind: rank_chunks.setdefault(counter["n"], []).append(ind[0]),
+             init_func=init)
+        for tid, vals in rank_chunks.items():
+            assert vals == sorted(vals)
+            assert vals == list(range(min(vals), max(vals) + 1))
+
+
+class TestSchedules:
+    def test_dynamic_schedule_covers_space(self):
+        loop = ThreadedLoop(SPECS_3, "aBCc @ schedule(dynamic, 1)",
+                            num_threads=4)
+        assert sorted(collect(loop)) == sorted(reference_space(SPECS_3))
+
+    def test_dynamic_chunked(self):
+        loop = ThreadedLoop(SPECS_3, "BCabc @ schedule(dynamic, 3)",
+                            num_threads=2)
+        assert sorted(collect(loop)) == sorted(reference_space(SPECS_3))
+
+    def test_static_chunked(self):
+        loop = ThreadedLoop(SPECS_3, "BCabc @ schedule(static, 2)",
+                            num_threads=3)
+        assert sorted(collect(loop)) == sorted(reference_space(SPECS_3))
+
+    def test_inner_dynamic_region_reencountered(self):
+        # dynamic omp-for nested under a sequential loop: each encounter
+        # must redistribute the full inner space
+        specs = [LoopSpecs(0, 3, 1), LoopSpecs(0, 8, 1)]
+        loop = ThreadedLoop(specs, "aB @ schedule(dynamic, 1)",
+                            num_threads=2)
+        assert sorted(collect(loop)) == sorted(reference_space(specs))
+
+
+class TestInitTermAndThreads:
+    def test_init_term_called_per_thread(self):
+        calls = {"init": 0, "term": 0}
+        loop = ThreadedLoop(SPECS_3, "aBc", num_threads=3)
+        loop(lambda ind: None,
+             init_func=lambda: calls.__setitem__("init", calls["init"] + 1),
+             term_func=lambda: calls.__setitem__("term", calls["term"] + 1))
+        assert calls == {"init": 3, "term": 3}
+
+    def test_threads_execution_mode(self):
+        import threading
+        loop = ThreadedLoop(SPECS_3, "aBCc", num_threads=4,
+                            execution="threads")
+        lock = threading.Lock()
+        seen = []
+
+        def body(ind):
+            with lock:
+                seen.append(tuple(ind))
+
+        loop(body)
+        assert sorted(seen) == sorted(reference_space(SPECS_3))
+
+    def test_threads_mode_with_barrier(self):
+        import threading
+        specs = [LoopSpecs(0, 4, 1), LoopSpecs(0, 8, 1)]
+        loop = ThreadedLoop(specs, "aB|", num_threads=2,
+                            execution="threads")
+        lock = threading.Lock()
+        seen = []
+        loop(lambda ind: (lock.acquire(), seen.append(tuple(ind)),
+                          lock.release()))
+        assert sorted(seen) == sorted(reference_space(specs))
+
+    def test_barrier_rejected_in_serial_multithread(self):
+        with pytest.raises(SpecError, match="barrier"):
+            ThreadedLoop(SPECS_3, "aB|c", num_threads=2)
+
+    def test_exception_in_body_propagates_threads_mode(self):
+        loop = ThreadedLoop(SPECS_3, "aBc", num_threads=2,
+                            execution="threads")
+        with pytest.raises(ExecutionError):
+            loop(lambda ind: 1 / 0)
+
+    def test_body_must_be_callable(self):
+        loop = ThreadedLoop(SPECS_3, "abc", num_threads=1)
+        with pytest.raises(ExecutionError):
+            loop("not callable")
+
+    def test_serial_spec_defaults_to_one_thread(self):
+        assert ThreadedLoop(SPECS_3, "abc").num_threads == 1
+
+
+class TestJitCache:
+    def test_cache_hit_on_same_spec(self):
+        cache = NestCache()
+        ThreadedLoop(SPECS_3, "abc", num_threads=1, cache=cache)
+        ThreadedLoop(SPECS_3, "abc", num_threads=1, cache=cache)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_different_spec_misses(self):
+        cache = NestCache()
+        ThreadedLoop(SPECS_3, "abc", num_threads=1, cache=cache)
+        ThreadedLoop(SPECS_3, "acb", num_threads=1, cache=cache)
+        assert cache.misses == 2
+
+    def test_different_bounds_distinct_entries(self):
+        cache = NestCache()
+        ThreadedLoop([LoopSpecs(0, 4, 1)], "a", cache=cache)
+        ThreadedLoop([LoopSpecs(0, 8, 1)], "a", cache=cache)
+        assert cache.misses == 2
+
+    def test_with_spec_reuses_cache(self):
+        cache = NestCache()
+        base = ThreadedLoop(SPECS_3, "abc", num_threads=1, cache=cache)
+        variant = base.with_spec("bca")
+        assert variant.spec_string == "bca"
+        assert cache.misses == 2
+        base.with_spec("abc")
+        assert cache.hits == 1
+
+    def test_compile_time_tracked(self):
+        cache = NestCache()
+        ThreadedLoop(SPECS_3, "abc", num_threads=1, cache=cache)
+        assert cache.total_compile_seconds > 0
+
+
+class TestGeneratedSource:
+    def test_source_matches_listing2_structure(self):
+        loop = ThreadedLoop(SPECS_3, "bcaBCb", num_threads=2)
+        src = loop.generated_source
+        # variables named like the paper's Listing 2
+        for var in ("b0", "c0", "a0", "b1", "c1", "b2"):
+            assert var in src
+        assert "collapse(2)" in src
+
+    def test_source_grid_matches_listing3(self):
+        specs = [LoopSpecs(0, 8, 1, [4]), LoopSpecs(0, 16, 1, [4, 2]),
+                 LoopSpecs(0, 8, 1, [4])]
+        loop = ThreadedLoop(specs, "bC{R:2}aB{C:2}cb")
+        src = loop.generated_source
+        assert "_rid" in src and "_cid" in src
+
+    def test_logical_index_order_alphabetical(self):
+        # ind[0] must carry loop 'a' regardless of nesting order (§II-C)
+        loop = ThreadedLoop(SPECS_3, "cba", num_threads=1)
+        rec = []
+        loop(lambda ind: rec.append(tuple(ind)))
+        a_vals = {p[0] for p in rec}
+        assert a_vals == set(range(0, 4))
+
+
+class TestMissingBlockSteps:
+    def test_spec_string_needs_declared_blockings(self):
+        with pytest.raises(SpecError, match="blocking step"):
+            ThreadedLoop([LoopSpecs(0, 4, 1)], "aa", num_threads=1)
+
+    def test_imperfect_span_rejected(self):
+        # span 6 with outer block step 4 is not perfectly nested
+        with pytest.raises(SpecError, match="perfect"):
+            ThreadedLoop([LoopSpecs(0, 6, 1, [4])], "aa", num_threads=1)

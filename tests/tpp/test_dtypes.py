@@ -1,0 +1,117 @@
+"""Tests for BF16 emulation and precision plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tpp.dtypes import (DType, Precision, bf16_round, from_compute,
+                              is_bf16_representable, to_compute,
+                              tolerance_for)
+
+
+class TestBf16Round:
+    def test_exact_values_unchanged(self):
+        # powers of two and small integers are exactly representable
+        x = np.array([1.0, 2.0, 0.5, -4.0, 3.0, 0.0], dtype=np.float32)
+        assert np.array_equal(bf16_round(x), x)
+
+    def test_rounds_to_nearest(self):
+        # bf16 has 7 mantissa bits: neighbours of 1.0 are 1.0 and 1+2^-7,
+        # the midpoint 1+2^-8 ties to even (1.0, even mantissa)
+        x = np.float32(1.0) + np.float32(2.0**-8)
+        assert bf16_round(np.array([x]))[0] == np.float32(1.0)
+        # slightly above the midpoint rounds up
+        y = np.float32(1.0) + np.float32(2.0**-8) + np.float32(2.0**-12)
+        assert bf16_round(np.array([y]))[0] == np.float32(1.0 + 2.0**-7)
+
+    def test_rounds_down_below_midpoint(self):
+        x = np.float32(1.0) + np.float32(2.0**-10)
+        assert bf16_round(np.array([x]))[0] == np.float32(1.0)
+
+    def test_negative_symmetry(self):
+        x = np.linspace(-10, 10, 101, dtype=np.float32)
+        assert np.array_equal(bf16_round(-x), -bf16_round(x))
+
+    def test_inf_preserved(self):
+        x = np.array([np.inf, -np.inf], dtype=np.float32)
+        assert np.array_equal(bf16_round(x), x)
+
+    def test_nan_stays_nan(self):
+        out = bf16_round(np.array([np.nan], dtype=np.float32))
+        assert np.isnan(out[0])
+
+    def test_result_is_representable(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(1000).astype(np.float32) * 1e3
+        assert is_bf16_representable(bf16_round(x))
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(512).astype(np.float32)
+        once = bf16_round(x)
+        assert np.array_equal(bf16_round(once), once)
+
+    @given(st.floats(min_value=-2.0**80, max_value=2.0**80, width=32).filter(
+        lambda v: v == 0 or abs(v) > 1e-30))
+    @settings(max_examples=200, deadline=None)
+    def test_error_bounded_by_half_ulp(self, v):
+        # (subnormals excluded: their ULP is absolute, not relative)
+        x = np.float32(v)
+        r = bf16_round(np.array([x]))[0]
+        if x != 0 and np.isfinite(r):
+            # bf16 has 7 mantissa bits -> rel error <= half ULP = 2^-8
+            assert abs(float(r) - float(x)) <= abs(float(x)) * 2.0**-8 * 1.01
+
+    @given(st.lists(st.floats(min_value=-2.0**80, max_value=2.0**80, width=32),
+                    min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone(self, vals):
+        # (magnitude bounded: values above bf16-max legitimately round to
+        # inf, where diff() is nan)
+        x = np.sort(np.array(vals, dtype=np.float32))
+        r = bf16_round(x)
+        assert np.all(np.diff(r) >= 0)
+
+    def test_shape_preserved(self):
+        x = np.zeros((3, 4, 5), dtype=np.float32)
+        assert bf16_round(x).shape == (3, 4, 5)
+
+
+class TestDType:
+    def test_nbytes(self):
+        assert DType.F32.nbytes == 4
+        assert DType.BF16.nbytes == 2
+        assert DType.F16.nbytes == 2
+        assert DType.I8.nbytes == 1
+        assert DType.F64.nbytes == 8
+
+    def test_bf16_container_is_f32(self):
+        assert DType.BF16.np == np.float32
+
+    def test_low_precision_flags(self):
+        assert DType.BF16.is_low_precision
+        assert DType.I8.is_low_precision
+        assert not DType.F32.is_low_precision
+
+    def test_is_float(self):
+        assert DType.F32.is_float and DType.BF16.is_float
+        assert not DType.I32.is_float
+
+    def test_precision_of(self):
+        p = Precision.of(DType.BF16)
+        assert p.inp is DType.BF16 and p.out is DType.BF16
+        assert p.comp is DType.F32  # FP32 accumulation
+        pf = Precision.of(DType.F32)
+        assert pf.comp is DType.F32
+
+    def test_round_trip_conversion(self):
+        x = np.array([[1.5, -2.25]], dtype=np.float32)
+        stored = from_compute(x, DType.BF16)
+        back = to_compute(stored, DType.BF16)
+        assert back.dtype == np.float32
+        assert np.array_equal(stored, back)
+
+    def test_tolerances_ordered(self):
+        assert tolerance_for(DType.F64) < tolerance_for(DType.F32) \
+            < tolerance_for(DType.BF16)

@@ -1,0 +1,215 @@
+"""Tests for reduce, softmax, layernorm, batchnorm and dropout TPPs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tpp import (BatchNormApplyTPP, BatchNormStatsTPP, DropoutBwdTPP,
+                       DropoutTPP, LayerNormBwdTPP, LayerNormTPP, ReduceAxis,
+                       ReduceKind, ReduceTPP, SoftmaxBwdTPP, SoftmaxTPP,
+                       softmax_equation)
+
+
+def blk(m=4, n=6, seed=0):
+    return np.random.default_rng(seed).standard_normal((m, n)).astype(np.float32)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("kind,ref", [
+        (ReduceKind.SUM, lambda x, ax: x.sum(ax)),
+        (ReduceKind.MAX, lambda x, ax: x.max(ax)),
+        (ReduceKind.MIN, lambda x, ax: x.min(ax)),
+        (ReduceKind.MEAN, lambda x, ax: x.mean(ax)),
+        (ReduceKind.SQSUM, lambda x, ax: (x * x).sum(ax)),
+        (ReduceKind.ABSMAX, lambda x, ax: np.abs(x).max(ax)),
+    ])
+    @pytest.mark.parametrize("axis,np_axis", [
+        (ReduceAxis.ROWS, 0), (ReduceAxis.COLS, 1), (ReduceAxis.FULL, None)])
+    def test_matches_numpy(self, kind, ref, axis, np_axis):
+        x = blk(seed=1)
+        out = ReduceTPP(4, 6, kind, axis)(x)
+        assert np.allclose(out, ref(x, np_axis), atol=1e-5)
+
+    def test_out_buffer_and_accumulate(self):
+        x = blk(seed=2)
+        out = np.ones(6, dtype=np.float32)
+        ReduceTPP(4, 6, ReduceKind.SUM, ReduceAxis.ROWS)(x, out,
+                                                         accumulate=True)
+        assert np.allclose(out, 1.0 + x.sum(0), atol=1e-5)
+
+    def test_max_accumulate_takes_max(self):
+        x = blk(seed=3)
+        out = np.full(6, 100.0, dtype=np.float32)
+        ReduceTPP(4, 6, ReduceKind.MAX, ReduceAxis.ROWS)(x, out,
+                                                         accumulate=True)
+        assert np.all(out == 100.0)
+
+    def test_bad_kind_axis(self):
+        with pytest.raises(ValueError):
+            ReduceTPP(4, 6, "median", ReduceAxis.ROWS)
+        with pytest.raises(ValueError):
+            ReduceTPP(4, 6, ReduceKind.SUM, "diag")
+
+    def test_wrong_out_shape(self):
+        with pytest.raises(ValueError):
+            ReduceTPP(4, 6, ReduceKind.SUM, ReduceAxis.ROWS)(
+                blk(), np.zeros(4, dtype=np.float32))
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = blk(seed=4) * 10
+        out = np.empty_like(x)
+        SoftmaxTPP(4, 6)(x, out)
+        assert np.allclose(out.sum(axis=1), 1.0, atol=1e-6)
+        assert np.all(out >= 0)
+
+    def test_matches_reference(self):
+        x = blk(seed=5)
+        ref = np.exp(x - x.max(1, keepdims=True))
+        ref /= ref.sum(1, keepdims=True)
+        out = np.empty_like(x)
+        SoftmaxTPP(4, 6)(x, out)
+        assert np.allclose(out, ref, atol=1e-6)
+
+    def test_numerically_stable_large_inputs(self):
+        x = np.full((2, 3), 1e4, dtype=np.float32)
+        out = np.empty_like(x)
+        SoftmaxTPP(2, 3)(x, out)
+        assert np.allclose(out, 1.0 / 3.0, atol=1e-6)
+
+    def test_equation_equals_monolith(self):
+        x = blk(8, 16, seed=6)
+        mono = np.empty_like(x)
+        SoftmaxTPP(8, 16)(x.copy(), mono)
+        eq = softmax_equation(x)
+        assert np.allclose(mono, eq, atol=1e-6)
+
+    def test_softmax_bwd_matches_jacobian(self):
+        x = blk(3, 4, seed=7)
+        y = np.empty_like(x)
+        SoftmaxTPP(3, 4)(x.copy(), y)
+        g = blk(3, 4, seed=8)
+        out = np.empty_like(g)
+        SoftmaxBwdTPP(3, 4)(g, y, out)
+        for i in range(3):
+            J = np.diag(y[i]) - np.outer(y[i], y[i])
+            assert np.allclose(out[i], J @ g[i], atol=1e-5)
+
+    @given(arrays(np.float32, (3, 5), elements=st.floats(-50, 50, width=32)))
+    @settings(max_examples=50, deadline=None)
+    def test_property_simplex(self, x):
+        out = np.empty_like(x)
+        SoftmaxTPP(3, 5)(x, out)
+        assert np.allclose(out.sum(axis=1), 1.0, atol=1e-4)
+        assert np.all((out >= 0) & (out <= 1.0 + 1e-6))
+
+
+class TestLayerNorm:
+    def test_normalizes_rows(self):
+        x = blk(8, 16, seed=9) * 3 + 2
+        gamma = np.ones(16, dtype=np.float32)
+        beta = np.zeros(16, dtype=np.float32)
+        out = np.empty_like(x)
+        LayerNormTPP(8, 16)(x, gamma, beta, out)
+        assert np.allclose(out.mean(axis=1), 0.0, atol=1e-5)
+        assert np.allclose(out.std(axis=1), 1.0, atol=1e-2)
+
+    def test_gamma_beta_applied(self):
+        x = blk(4, 8, seed=10)
+        gamma = np.full(8, 2.0, dtype=np.float32)
+        beta = np.full(8, 1.0, dtype=np.float32)
+        out = np.empty_like(x)
+        LayerNormTPP(4, 8)(x, gamma, beta, out)
+        assert np.allclose(out.mean(axis=1), 1.0, atol=1e-5)
+
+    def test_stats_saved(self):
+        x = blk(4, 8, seed=11)
+        stats = {}
+        LayerNormTPP(4, 8)(x.copy(), np.ones(8, np.float32),
+                           np.zeros(8, np.float32), save_stats=stats)
+        assert np.allclose(stats["mean"], x.mean(axis=1), atol=1e-5)
+        assert stats["xhat"].shape == (4, 8)
+
+    def test_bwd_matches_numeric_gradient(self):
+        m, n = 3, 6
+        x = blk(m, n, seed=12)
+        gamma = np.abs(blk(1, n, seed=13)).reshape(n) + 0.5
+        beta = blk(1, n, seed=14).reshape(n)
+        ln = LayerNormTPP(m, n)
+        stats = {}
+        y = np.empty_like(x)
+        ln(x.copy(), gamma, beta, y, save_stats=stats)
+        g = blk(m, n, seed=15)
+        gx, ggamma, gbeta = LayerNormBwdTPP(m, n)(
+            g, stats["xhat"], stats["rstd"], gamma)
+        # numeric gradient wrt x
+        eps = 1e-3
+        num = np.zeros_like(x)
+        for i in range(m):
+            for j in range(n):
+                xp, xm = x.copy(), x.copy()
+                xp[i, j] += eps
+                xm[i, j] -= eps
+                yp, ym = np.empty_like(x), np.empty_like(x)
+                ln(xp, gamma, beta, yp)
+                ln(xm, gamma, beta, ym)
+                num[i, j] = np.sum((yp - ym) * g) / (2 * eps)
+        assert np.allclose(gx, num, atol=5e-2)
+        assert np.allclose(gbeta, g.sum(0), atol=1e-5)
+
+    def test_batchnorm_stats_apply_roundtrip(self):
+        x = blk(32, 8, seed=16) * 4 + 3
+        mean, var = BatchNormStatsTPP(32, 8)(x)
+        assert np.allclose(mean, x.mean(0), atol=1e-5)
+        out = np.empty_like(x)
+        BatchNormApplyTPP(32, 8)(x, mean, var, np.ones(8, np.float32),
+                                 np.zeros(8, np.float32), out)
+        assert np.allclose(out.mean(0), 0, atol=1e-5)
+        assert np.allclose(out.var(0), 1, atol=1e-2)
+
+
+class TestDropout:
+    def test_deterministic_given_seed(self):
+        x = blk(8, 8, seed=17)
+        o1, o2 = np.empty_like(x), np.empty_like(x)
+        DropoutTPP(8, 8, p=0.5, seed=42)(x, o1)
+        DropoutTPP(8, 8, p=0.5, seed=42)(x, o2)
+        assert np.array_equal(o1, o2)
+
+    def test_inference_mode_identity(self):
+        x = blk(4, 6, seed=18)
+        out = np.empty_like(x)
+        DropoutTPP(4, 6, p=0.5)(x, out, training=False)
+        assert np.allclose(out, x)
+
+    def test_scaling_preserves_expectation(self):
+        x = np.ones((64, 64), dtype=np.float32)
+        out = np.empty_like(x)
+        DropoutTPP(64, 64, p=0.25, seed=7)(x, out)
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_mask_reused_in_backward(self):
+        x = blk(4, 6, seed=19)
+        fwd = DropoutTPP(4, 6, p=0.5, seed=3)
+        out = np.empty_like(x)
+        fwd(x, out)
+        g = np.ones_like(x)
+        gi = np.empty_like(x)
+        DropoutBwdTPP(4, 6, p=0.5)(g, fwd.last_mask, gi)
+        # gradient zero exactly where forward dropped
+        assert np.array_equal(gi == 0, out == 0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            DropoutTPP(4, 6, p=1.0)
+        with pytest.raises(ValueError):
+            DropoutTPP(4, 6, p=-0.1)
+
+    def test_zero_probability_identity(self):
+        x = blk(4, 6, seed=20)
+        out = np.empty_like(x)
+        DropoutTPP(4, 6, p=0.0)(x, out)
+        assert np.allclose(out, x)

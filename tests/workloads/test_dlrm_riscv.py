@@ -1,0 +1,84 @@
+"""Tests for the §VII future-work extensions: DLRM and RISC-V support."""
+
+import numpy as np
+import pytest
+
+from repro.platform import GVT3, RISCV64, SPR, platform_by_name
+from repro.tpp.backend.isa import ISA, ISA_SPECS
+from repro.tpp.dtypes import DType
+from repro.workloads import (DLRM_RM1, DLRM_RM2, DlrmConfig, TinyDlrm,
+                             dlrm_inference_throughput)
+
+
+class TestDlrmFunctional:
+    def test_forward_shape_and_range(self):
+        model = TinyDlrm(DLRM_RM1, seed=0)
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal((16, 13)).astype(np.float32)
+        sparse = rng.integers(0, 64, (16, 26))
+        out = model.forward(dense, sparse)
+        assert out.shape == (16,)
+        assert np.all((out >= 0) & (out <= 1))  # sigmoid CTR output
+
+    def test_interaction_feature_count(self):
+        # 26 tables + bottom output = 27 inputs -> 27*26/2 pairs
+        assert DLRM_RM1.interaction_inputs == 27
+        assert DLRM_RM1.interaction_features == 351
+
+    def test_embedding_lookup_changes_output(self):
+        model = TinyDlrm(DLRM_RM1, seed=1)
+        rng = np.random.default_rng(1)
+        dense = rng.standard_normal((4, 13)).astype(np.float32)
+        s1 = rng.integers(0, 64, (4, 26))
+        s2 = s1.copy()
+        s2[:, 0] = (s2[:, 0] + 1) % 64
+        assert not np.allclose(model.forward(dense, s1),
+                               model.forward(dense, s2))
+
+    def test_deterministic(self):
+        model = TinyDlrm(DLRM_RM1, seed=2)
+        rng = np.random.default_rng(2)
+        dense = rng.standard_normal((4, 13)).astype(np.float32)
+        sparse = rng.integers(0, 64, (4, 26))
+        assert np.array_equal(model.forward(dense, sparse),
+                              model.forward(dense, sparse))
+
+
+class TestDlrmPerformance:
+    def test_throughput_positive_and_stack_ordered(self):
+        pl = dlrm_inference_throughput(DLRM_RM1, SPR, "parlooper")
+        hf = dlrm_inference_throughput(DLRM_RM1, SPR, "hf")
+        assert pl > hf > 0
+
+    def test_bigger_model_slower(self):
+        rm1 = dlrm_inference_throughput(DLRM_RM1, SPR)
+        rm2 = dlrm_inference_throughput(DLRM_RM2, SPR)
+        assert rm1 > rm2
+
+    def test_more_lookups_more_embedding_time(self):
+        one = dlrm_inference_throughput(DLRM_RM2, GVT3,
+                                        lookups_per_table=1)
+        many = dlrm_inference_throughput(DLRM_RM2, GVT3,
+                                         lookups_per_table=32)
+        assert one > many
+
+
+class TestRiscv:
+    def test_platform_registered(self):
+        assert platform_by_name("RISCV64") is RISCV64
+        assert RISCV64.total_cores == 64
+
+    def test_rvv_isa_spec(self):
+        spec = ISA_SPECS[ISA.RVV256]
+        # VLEN=256, 2 FMA pipes: 8 fp32 lanes x 2 x 2 = 32 flops/cycle
+        assert spec.flops_per_cycle(DType.F32) == 32
+
+    def test_identical_kernel_runs_on_riscv(self):
+        # the portability claim: the same GEMM kernel, new platform
+        from repro.kernels import ParlooperGemm
+        g = ParlooperGemm(1024, 1024, 1024, num_threads=64)
+        r = g.simulate(RISCV64)
+        assert 0 < r.gflops <= RISCV64.peak_gflops(DType.F32)
+
+    def test_no_bf16_on_riscv_preset(self):
+        assert not RISCV64.supports(DType.BF16)

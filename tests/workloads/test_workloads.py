@@ -1,0 +1,258 @@
+"""Tests for the end-to-end workloads: functional numerics + performance
+shape properties from the paper's evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.platform import GVT3, SPR, SPR_1S, ZEN4
+from repro.tpp import BCSCMatrix
+from repro.tpp.dtypes import DType
+from repro.workloads import (BERT_BASE, BERT_LARGE, GPTJ_6B, LLAMA2_13B,
+                             BertConfig, BertEmbeddings, BertLayer,
+                             BlockPruner, DistillationTrainer, LlmConfig,
+                             OpCostModel, SparsitySchedule, TinyDecoder,
+                             bert_training_performance,
+                             llm_inference_latency, make_synthetic_task,
+                             resnet50_conv_specs, resnet50_flops,
+                             resnet50_training_throughput,
+                             sparse_bert_inference, sparse_bert_roofline)
+
+TINY = BertConfig("tiny", layers=2, hidden=32, heads=4, intermediate=64,
+                  vocab=100, max_seq=16)
+
+
+class TestBertFunctional:
+    def test_embeddings_shape_and_norm(self):
+        emb = BertEmbeddings(TINY)
+        ids = np.array([[1, 5, 7, 2], [3, 9, 0, 4]])
+        out = emb(ids)
+        assert out.shape == (2, 4, 32)
+        assert np.allclose(out.mean(axis=-1), 0, atol=1e-4)
+
+    def test_layer_preserves_shape(self):
+        layer = BertLayer(TINY)
+        x = np.random.default_rng(0).standard_normal(
+            (2, 8, 32)).astype(np.float32)
+        y = layer(x)
+        assert y.shape == x.shape
+        assert np.all(np.isfinite(y))
+
+    def test_attention_rows_normalized(self):
+        layer = BertLayer(TINY)
+        x = np.random.default_rng(1).standard_normal(
+            (1, 8, 32)).astype(np.float32)
+        # self-attention output is a convex combination of V rows: with
+        # constant V the output equals that constant
+        layer.wv[:] = 0
+        layer.bv[:] = 1.0
+        attn = layer.self_attention(x)
+        assert np.allclose(attn, (np.ones(32) @ layer.wo.T * 0 + 1.0)
+                           @ np.eye(32), atol=1e-4) or \
+            np.allclose(attn, 1.0, atol=1e-4)
+
+    def test_mask_blocks_positions(self):
+        layer = BertLayer(TINY)
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 8, 32)).astype(np.float32)
+        mask = np.zeros((1, 8), dtype=np.float32)
+        mask[0, 4:] = 1.0  # mask out the tail positions
+        a_masked = layer.self_attention(x, mask)
+        x2 = x.copy()
+        x2[0, 6] += 100.0  # perturb a masked position
+        a_masked2 = layer.self_attention(x2, mask)
+        # masked positions cannot influence earlier outputs via scores
+        assert np.allclose(a_masked[0, :4], a_masked2[0, :4], atol=1e-2)
+
+    def test_output_residual_and_layernorm(self):
+        layer = BertLayer(TINY)
+        x = np.random.default_rng(3).standard_normal(
+            (1, 4, 32)).astype(np.float32)
+        y = layer.self_output(np.zeros_like(x), x)
+        assert np.allclose(y.mean(axis=-1), 0, atol=1e-4)
+
+    def test_config_flops(self):
+        assert BERT_LARGE.hidden == 1024 and BERT_LARGE.layers == 24
+        assert BERT_BASE.head_dim == 64
+        f = BERT_BASE.encoder_gemm_flops(100)
+        assert f == 12 * 2 * 100 * 768 * (3 * 768 + 768 + 2 * 3072)
+
+
+class TestBertPerformance:
+    def test_fig9_stack_ordering(self):
+        res = {s: bert_training_performance(BERT_LARGE, SPR, s)
+               for s in ("parlooper", "tpp_static", "ipex", "hf")}
+        assert res["parlooper"] > res["tpp_static"] > res["ipex"] > res["hf"]
+
+    def test_fig9_tpp_static_ratio(self):
+        # paper: 1.22x over the static-loop-order TPP stack
+        pl = bert_training_performance(BERT_LARGE, SPR, "parlooper")
+        tpp = bert_training_performance(BERT_LARGE, SPR, "tpp_static")
+        assert 1.1 < pl / tpp < 1.4
+
+    def test_fig9_ipex_ratio(self):
+        pl = bert_training_performance(BERT_LARGE, SPR, "parlooper")
+        ipex = bert_training_performance(BERT_LARGE, SPR, "ipex")
+        assert 2.0 < pl / ipex < 6.5   # paper: 3.3x
+
+    def test_spr_fastest_platform(self):
+        spr = bert_training_performance(BERT_LARGE, SPR, "parlooper")
+        gvt = bert_training_performance(BERT_LARGE, GVT3, "parlooper")
+        zen = bert_training_performance(BERT_LARGE, ZEN4, "parlooper")
+        assert spr > gvt > zen
+
+
+class TestLlm:
+    def test_tiny_decoder_kv_cache_consistency(self):
+        cfg = LlmConfig("tiny", layers=2, hidden=32, heads=4,
+                        intermediate=64, vocab=50)
+        dec = TinyDecoder(cfg, seed=0)
+        prompt = [1, 4, 9, 2]
+        # full re-forward vs incremental KV-cached decoding must agree
+        out = dec.generate(prompt, n_new=3)
+        logits_full, _ = dec.forward(out[:-1])
+        assert int(np.argmax(logits_full[-1])) == out[-1]
+
+    def test_configs(self):
+        assert GPTJ_6B.n_params == pytest.approx(6e9, rel=0.15)
+        assert LLAMA2_13B.n_params == pytest.approx(13e9, rel=0.15)
+
+    def test_fig11_bf16_speedups(self):
+        pl = llm_inference_latency(GPTJ_6B, SPR, "parlooper", DType.BF16)
+        f32 = llm_inference_latency(GPTJ_6B, SPR, "parlooper", DType.F32)
+        first = f32.first_token_s / pl.first_token_s
+        nxt = f32.per_next_token_s / pl.per_next_token_s
+        assert 4.0 < first < 8.0     # paper: 5.7x (compute-bound)
+        assert 1.7 < nxt < 2.3       # paper: 1.9x (bandwidth-bound)
+
+    def test_fig11_parlooper_beats_hf(self):
+        for cfg in (GPTJ_6B, LLAMA2_13B):
+            pl = llm_inference_latency(cfg, SPR, "parlooper")
+            hf = llm_inference_latency(cfg, SPR, "hf")
+            assert 1.05 < hf.total_s / pl.total_s < 2.6  # paper: 1.1-2.3x
+
+    def test_gvt3_non_native_bf16_is_catastrophic(self):
+        # paper: the HF BF16 path on GVT3 used a reference implementation
+        # and timed out; ours must at least be several times slower
+        pl = llm_inference_latency(GPTJ_6B, GVT3, "parlooper", DType.BF16)
+        hf = llm_inference_latency(GPTJ_6B, GVT3, "hf_aarch64_bf16",
+                                   DType.BF16)
+        assert hf.total_s / pl.total_s > 3.0
+
+    def test_next_token_bandwidth_bound(self):
+        pl = llm_inference_latency(GPTJ_6B, SPR, "parlooper", DType.BF16)
+        floor = GPTJ_6B.weight_bytes(DType.BF16) / (SPR.dram_bw_gbytes * 1e9)
+        assert pl.per_next_token_s >= floor
+
+
+class TestResnet:
+    def test_conv_shape_table(self):
+        specs = resnet50_conv_specs(16)
+        assert len(specs) == 20
+        total_count = sum(layer.count for layer, _ in specs)
+        assert total_count == 52  # 48 bottleneck convs + 4 projections
+
+    def test_flops_magnitude(self):
+        # ~3.7 GMACs = 7.4 GFLOPs of forward conv work per image
+        per_image = resnet50_flops(1)
+        assert 6.0e9 < per_image < 8.5e9
+
+    def test_table2_shape(self):
+        spr = resnet50_training_throughput(SPR_1S, "parlooper")
+        gvt = resnet50_training_throughput(GVT3, "parlooper")
+        assert spr > gvt                      # Table II: 255 vs 145
+        assert 1.2 < spr / gvt < 2.5          # paper: 1.76x
+
+
+class TestSparseBert:
+    def test_fig10_speedups(self):
+        for machine, lo, hi in ((SPR, 1.4, 2.3), (GVT3, 1.5, 3.0),
+                                (ZEN4, 2.0, 3.3)):
+            r = sparse_bert_inference(BERT_BASE, machine, nthreads=8)
+            assert lo < r.speedup < hi, machine.name
+
+    def test_roofline_never_exceeded(self):
+        for machine in (SPR, GVT3, ZEN4):
+            r = sparse_bert_inference(BERT_BASE, machine, nthreads=8)
+            assert r.sparse_s >= r.roofline_s * 0.999
+            assert 0.5 < sparse_bert_roofline(r) <= 1.0
+
+    def test_spr_small_blocks_worse(self):
+        r8 = sparse_bert_inference(BERT_BASE, SPR, block=8, nthreads=8)
+        r32 = sparse_bert_inference(BERT_BASE, SPR, block=32, nthreads=8)
+        assert r32.sparse_s < r8.sparse_s  # AMX chain mechanism
+
+
+class TestPruning:
+    def test_schedule_monotone(self):
+        s = SparsitySchedule(0.8, 10, 100)
+        vals = [s.sparsity_at(t) for t in range(0, 120, 5)]
+        assert vals[0] == 0.0
+        assert vals[-1] == pytest.approx(0.8)
+        assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:]))
+
+    def test_mask_hits_target_sparsity(self):
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal((64, 64)).astype(np.float32)
+        pruner = BlockPruner(8, 8)
+        mask = pruner.mask_for(w, 0.75)
+        assert mask.mean() == pytest.approx(0.25, abs=0.02)
+
+    def test_pruning_keeps_large_blocks(self):
+        w = np.ones((16, 16), dtype=np.float32) * 0.01
+        w[:8, :8] = 10.0
+        pruner = BlockPruner(8, 8)
+        mask = pruner.mask_for(w, 0.75)
+        assert mask[0, 0] and mask.sum() == 1
+
+    def test_to_bcsc_roundtrip(self):
+        rng = np.random.default_rng(1)
+        w = rng.standard_normal((64, 64)).astype(np.float32)
+        pruner = BlockPruner(8, 8)
+        bcsc = pruner.to_bcsc(w, 0.8)
+        assert isinstance(bcsc, BCSCMatrix)
+        assert bcsc.sparsity == pytest.approx(0.8, abs=0.03)
+
+    def test_distillation_preserves_accuracy(self):
+        # the §IV-B pipeline: dense teacher -> incremental 80% block-
+        # sparse student with KD; accuracy drop should stay small
+        x, y = make_synthetic_task(n=512, dim=64, classes=4, seed=0)
+        trainer = DistillationTrainer(
+            BlockPruner(8, 8), SparsitySchedule(0.8, 20, 200))
+        teacher, student = trainer.run(x, y, hidden=64, steps=300)
+        acc_t = teacher.accuracy(x, y)
+        acc_s = student.accuracy(x, y)
+        assert acc_t > 0.85
+        assert acc_t - acc_s < 0.05  # paper: <1.5% absolute F1 drop
+        # final weights really are 80% block-sparse
+        pruner = BlockPruner(8, 8)
+        scores = pruner.block_scores(student.w1)
+        assert (scores == 0).mean() == pytest.approx(0.8, abs=0.02)
+
+
+class TestOpCostModel:
+    def test_gemm_cache_hits(self):
+        cost = OpCostModel(ZEN4)
+        t1 = cost.gemm_seconds(512, 512, 512, DType.F32)
+        t2 = cost.gemm_seconds(512, 512, 512, DType.F32)
+        assert t1 == t2
+        assert len(cost._gemm_cache) == 1
+
+    def test_unfused_eltwise_costs_more(self):
+        from repro.baselines.stacks import STACKS
+        fused = OpCostModel(SPR, STACKS["parlooper"])
+        unfused = OpCostModel(SPR, STACKS["hf"])
+        assert unfused.eltwise_seconds(1 << 20, DType.F32, 1.0, 4) > \
+            fused.eltwise_seconds(1 << 20, DType.F32, 1.0, 4)
+
+    def test_unpad_reduces_tokens(self):
+        from repro.baselines.stacks import STACKS
+        pl = OpCostModel(SPR, STACKS["parlooper"])
+        ipex = OpCostModel(SPR, STACKS["ipex"])
+        assert pl.seq_fraction(0.45) == 0.45
+        assert ipex.seq_fraction(0.45) == 1.0
+
+    def test_spmm_faster_with_sparsity(self):
+        cost = OpCostModel(SPR)
+        dense = cost.spmm_seconds(2048, 2048, 2048, DType.BF16, 0.0, 32)
+        sparse = cost.spmm_seconds(2048, 2048, 2048, DType.BF16, 0.9, 32)
+        assert sparse < dense

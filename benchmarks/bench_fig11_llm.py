@@ -35,6 +35,7 @@ def test_fig11_llm_inference(benchmark):
                           lat.per_next_token_s * 1e3, lat.total_s)
     table.note(f"paper: {PAPER['fig11']}")
     table.show()
+    table.write_json("fig11")
 
     for machine in ("SPR", "GVT3"):
         for model in ("GPT-J-6B", "Llama2-13B"):

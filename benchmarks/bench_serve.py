@@ -1,0 +1,83 @@
+"""Serving experiment: continuous vs static batching under open-loop
+traffic (GPT-J-6B on SPR and GVT3).
+
+The paper's Fig 11 prices one BS=1 request; this bench puts the same
+cost substrate behind *traffic* (ROADMAP's serving north star).  Sweep:
+arrival rate x batching policy per platform.  Expected shape, as in the
+serving-systems literature: continuous batching sustains strictly higher
+tokens/s at equal-or-better p99 TTFT, because the decode batch stays
+full (weights stream once per step for everyone) and prompt prefills are
+chunked into the budget instead of monopolising whole steps.  The whole
+simulation is deterministic under a fixed traffic seed.
+"""
+
+import copy
+
+from repro.bench import ExperimentTable
+from repro.platform import GVT3, SPR
+from repro.serve import (ContinuousBatcher, ServeCostModel, ServeSimulator,
+                         StaticBatcher, TrafficGenerator)
+from repro.workloads import GPTJ_6B
+
+N_REQUESTS = 80
+RATES_RPS = (4.0, 20.0)
+SEED = 42
+
+
+def _traffic(rate):
+    return TrafficGenerator(rate_rps=rate, seed=SEED, mean_prompt=256,
+                            max_prompt=1024, mean_new_tokens=32,
+                            max_new_tokens=128).generate(N_REQUESTS)
+
+
+def _run(machine, cost, batcher, rate):
+    sim = ServeSimulator(GPTJ_6B, machine, batcher=batcher, cost=cost)
+    return sim.run(copy.deepcopy(_traffic(rate)))
+
+
+def test_serve_continuous_vs_static(benchmark):
+    table = ExperimentTable(
+        "Serving — GPT-J-6B, continuous vs static batching",
+        ["platform", "policy", "rate (req/s)", "tok/s", "TTFT p50 (s)",
+         "TTFT p99 (s)", "TPOT p99 (s)", "mean batch", "KV peak occ"])
+    results = {}
+    for machine in (SPR, GVT3):
+        cost = ServeCostModel.for_stack(GPTJ_6B, machine)
+        for rate in RATES_RPS:
+            for batcher in (ContinuousBatcher(), StaticBatcher()):
+                rep = _run(machine, cost, batcher, rate)
+                s = rep.summary
+                results[(machine.name, batcher.name, rate)] = s
+                table.add(machine.name, batcher.name, rate,
+                          s.tokens_per_s, s.ttft_p50_s, s.ttft_p99_s,
+                          s.tpot_p99_s, s.mean_batch,
+                          s.peak_kv_occupancy)
+    table.note(f"{N_REQUESTS} Poisson requests, seed {SEED}, "
+               "mean prompt 256, mean output 32 tokens, BF16")
+    table.show()
+    table.write_json("serve")
+
+    # the serving headline: under sustained load, continuous batching
+    # wins throughput without giving up tail first-token latency
+    for machine in ("SPR", "GVT3"):
+        for rate in RATES_RPS:
+            cont = results[(machine, "continuous", rate)]
+            stat = results[(machine, "static", rate)]
+            assert cont.tokens_per_s > stat.tokens_per_s
+            assert cont.ttft_p99_s <= stat.ttft_p99_s
+        # at the saturating rate the gap is structural, not marginal
+        cont = results[(machine, "continuous", RATES_RPS[-1])]
+        stat = results[(machine, "static", RATES_RPS[-1])]
+        assert cont.tokens_per_s > 1.5 * stat.tokens_per_s
+
+    # determinism: an identical seeded run reproduces every metric
+    cost = ServeCostModel.for_stack(GPTJ_6B, SPR)
+    a = _run(SPR, cost, ContinuousBatcher(), RATES_RPS[-1]).summary
+    b = _run(SPR, cost, ContinuousBatcher(), RATES_RPS[-1]).summary
+    assert a == b
+
+    # time one steady-state serving slice as the representative kernel
+    reqs = _traffic(RATES_RPS[0])[:20]
+    benchmark(lambda: ServeSimulator(
+        GPTJ_6B, SPR, batcher=ContinuousBatcher(),
+        cost=cost).run(copy.deepcopy(reqs)))

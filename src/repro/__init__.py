@@ -19,13 +19,17 @@ Architectures"* (Georganas et al., IPDPS 2024):
 * :mod:`repro.workloads` — BERT, sparse BERT, GPT-J/Llama2 inference,
   ResNet-50, block pruning + distillation;
 * :mod:`repro.baselines` — modeled comparators (oneDNN, AOCL, TVM, Mojo,
-  HF/IPEX stacks, DeepSparse).
+  HF/IPEX stacks, DeepSparse);
+* :mod:`repro.serve` — LLM inference serving: synthetic traffic,
+  continuous batching, paged KV-cache pool, SLO-aware scheduling over
+  the same cost substrate.
 """
 
 from .core import LoopSpecs, SpecError, ThreadedLoop
 from .kernels import (ConvSpec, ParlooperConv, ParlooperGemm, ParlooperMlp,
                       ParlooperSpmm)
 from .platform import ADL, GVT3, SPR, ZEN4, MachineModel
+from .serve import ServeSimulator, TrafficGenerator
 from .simulator import predict, simulate
 from .tpp import BCSCMatrix, BRGemmTPP, DType, Precision, Ptr
 from .tuner import TuningConstraints, generate_candidates, search
@@ -39,6 +43,7 @@ __all__ = [
     "BRGemmTPP", "BCSCMatrix", "DType", "Precision", "Ptr",
     "MachineModel", "SPR", "GVT3", "ZEN4", "ADL",
     "simulate", "predict",
+    "ServeSimulator", "TrafficGenerator",
     "TuningConstraints", "generate_candidates", "search",
     "__version__",
 ]

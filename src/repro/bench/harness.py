@@ -7,6 +7,8 @@ EXPERIMENTS.md can quote them directly.
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 from dataclasses import dataclass, field
 
@@ -64,3 +66,30 @@ class ExperimentTable:
 
     def show(self) -> None:
         print("\n" + self.render() + "\n", file=sys.stderr)
+
+    # -- machine-readable emission --------------------------------------
+    def to_payload(self) -> dict:
+        """The table as plain data (what :meth:`write_json` serialises)."""
+        return {"title": self.title, "columns": list(self.columns),
+                "rows": [list(r) for r in self.rows],
+                "notes": list(self.notes)}
+
+    def write_json(self, name: str, out_dir: str | None = None):
+        """Emit ``BENCH_<name>.json`` next to the printed table so the
+        perf trajectory accumulates machine-readably across runs.
+
+        The destination is *out_dir*, or the ``REPRO_BENCH_JSON_DIR``
+        environment variable; with neither set this is a no-op (normal
+        test runs leave no files behind).  Returns the written path, or
+        ``None`` when emission is disabled.
+        """
+        out_dir = out_dir if out_dir is not None \
+            else os.environ.get("REPRO_BENCH_JSON_DIR")
+        if not out_dir:
+            return None
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"BENCH_{name}.json")
+        with open(path, "w") as fh:
+            json.dump(self.to_payload(), fh, indent=2)
+            fh.write("\n")
+        return path

@@ -80,6 +80,10 @@ class MachineModel:
     #: of how idle the rest of the chip is
     core_llc_bw_bytes_per_cycle: float = 24.0
     core_dram_gbytes: float = 20.0
+    #: installed DRAM capacity in GiB — sizes anything that must *live*
+    #: in memory (model weights, KV-cache pools) rather than stream
+    #: through it
+    dram_capacity_gbytes: float = 64.0
 
     def __post_init__(self):
         if not self.clusters:
@@ -129,6 +133,10 @@ class MachineModel:
                    if dtype in c.isa_by_dtype)
 
     # -- memory ---------------------------------------------------------
+    @property
+    def dram_capacity_bytes(self) -> float:
+        return self.dram_capacity_gbytes * (1 << 30)
+
     def dram_bw_bytes_per_cycle(self) -> float:
         """DRAM bandwidth normalised to leading-cluster cycles."""
         return self.dram_bw_gbytes * GIGA / (self.freq_ghz * GIGA)

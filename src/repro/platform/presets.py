@@ -38,6 +38,7 @@ SPR = MachineModel(
         CacheLevel("LLC", 210 * MiB, 900.0, shared=True),
     ),
     dram_bw_gbytes=614.0,
+    dram_capacity_gbytes=512.0,
     remote_hit_penalty=1.6,
     core_llc_bw_bytes_per_cycle=24.0,
     core_dram_gbytes=12.0,
@@ -53,6 +54,7 @@ SPR_1S = MachineModel(
         CacheLevel("LLC", 105 * MiB, 450.0, shared=True),
     ),
     dram_bw_gbytes=307.0,
+    dram_capacity_gbytes=256.0,
     remote_hit_penalty=1.6,
     core_llc_bw_bytes_per_cycle=24.0,
     core_dram_gbytes=12.0,
@@ -74,6 +76,7 @@ GVT3 = MachineModel(
         CacheLevel("LLC", 32 * MiB, 512.0, shared=True),
     ),
     dram_bw_gbytes=307.0,
+    dram_capacity_gbytes=256.0,
     remote_hit_penalty=1.4,
     core_llc_bw_bytes_per_cycle=24.0,
     core_dram_gbytes=30.0,
@@ -95,6 +98,7 @@ ZEN4 = MachineModel(
         CacheLevel("LLC", 64 * MiB, 448.0, shared=True),
     ),
     dram_bw_gbytes=96.0,
+    dram_capacity_gbytes=128.0,
     remote_hit_penalty=1.8,  # cross-CCD hops are expensive
     core_llc_bw_bytes_per_cycle=16.0,
     core_dram_gbytes=30.0,
@@ -116,6 +120,7 @@ ADL = MachineModel(
         CacheLevel("LLC", 30 * MiB, 256.0, shared=True),
     ),
     dram_bw_gbytes=89.6,
+    dram_capacity_gbytes=64.0,
     remote_hit_penalty=1.5,
 )
 
@@ -131,6 +136,7 @@ XEON8223 = MachineModel(
         CacheLevel("LLC", 25 * MiB, 192.0, shared=True),
     ),
     dram_bw_gbytes=60.0,
+    dram_capacity_gbytes=32.0,
 )
 
 #: AWS c5.12xlarge (24 cores) — the DeepSparse comparison platform (Fig 10)
@@ -143,6 +149,7 @@ C5_12XLARGE = MachineModel(
         CacheLevel("LLC", 35 * MiB, 384.0, shared=True),
     ),
     dram_bw_gbytes=120.0,
+    dram_capacity_gbytes=96.0,
 )
 
 _RISCV_ISA = {DType.F64: ISA.RVV256, DType.F32: ISA.RVV256}
@@ -159,6 +166,7 @@ RISCV64 = MachineModel(
         CacheLevel("LLC", 32 * MiB, 256.0, shared=True),
     ),
     dram_bw_gbytes=200.0,
+    dram_capacity_gbytes=128.0,
 )
 
 ALL_PLATFORMS = {m.name: m for m in

@@ -1,0 +1,28 @@
+"""LLM inference *serving*: traffic, batching, KV paging, SLOs (§IV-A
+scaled from one request to many).
+
+The BS=1 pipelines of :mod:`repro.workloads.llm` price a single
+request; this package serves *traffic* — Poisson arrivals over a
+continuous-batching scheduler, a paged KV-cache pool sized from the
+machine's DRAM, and SLO-aware admission/preemption — with every step
+priced by the same engine-backed cost model, so serving throughput and
+single-request latency live on one methodology.
+"""
+
+from .batcher import BATCHERS, ContinuousBatcher, StaticBatcher, StepPlan
+from .cost import ServeCostModel
+from .kv_pool import KvPoolStats, PagedKvPool
+from .metrics import ServeMetrics, ServeSummary, percentile
+from .request import Request, RequestState, TrafficGenerator
+from .scheduler import Scheduler, SloPolicy
+from .server import ServeReport, ServeSimulator
+
+__all__ = [
+    "Request", "RequestState", "TrafficGenerator",
+    "PagedKvPool", "KvPoolStats",
+    "StepPlan", "ContinuousBatcher", "StaticBatcher", "BATCHERS",
+    "Scheduler", "SloPolicy",
+    "ServeCostModel",
+    "ServeMetrics", "ServeSummary", "percentile",
+    "ServeReport", "ServeSimulator",
+]

@@ -1,0 +1,155 @@
+"""Paged KV-cache pool — block-granular KV memory for concurrent requests.
+
+Contiguous per-request KV buffers fragment and force worst-case
+(``prompt + max_new``) reservations.  Paging the cache into fixed
+``block_tokens``-position blocks lets the pool over-commit capacity and
+reclaim it by preempting victims, at the cost of at most one
+partially-filled block per request (bounded internal fragmentation).
+
+The pool is pure bookkeeping: it never materialises tensors.  It is
+sized from the :class:`~repro.platform.machine.MachineModel`'s DRAM
+capacity minus the resident model weights, and prices per-token
+footprint with :meth:`LlmConfig.kv_bytes_per_token` — the same byte math
+the latency model streams through the bandwidth term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..platform.machine import MachineModel
+from ..tpp.dtypes import DType
+from ..workloads.llm import LlmConfig
+
+__all__ = ["KvPoolStats", "PagedKvPool"]
+
+
+@dataclass(frozen=True)
+class KvPoolStats:
+    """Pool occupancy snapshot."""
+
+    total_blocks: int
+    used_blocks: int
+    cached_tokens: int
+    block_tokens: int
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of pool blocks allocated."""
+        if self.total_blocks == 0:
+            return 0.0
+        return self.used_blocks / self.total_blocks
+
+    @property
+    def fragmentation(self) -> float:
+        """Fraction of *allocated* token slots holding no KV entry —
+        the paged design's bounded internal fragmentation."""
+        slots = self.used_blocks * self.block_tokens
+        if slots == 0:
+            return 0.0
+        return 1.0 - self.cached_tokens / slots
+
+
+class PagedKvPool:
+    """Block allocator for the KV caches of in-flight requests."""
+
+    def __init__(self, config: LlmConfig, machine: MachineModel,
+                 dtype: DType = DType.BF16, block_tokens: int = 16,
+                 mem_fraction: float = 0.9):
+        if block_tokens <= 0:
+            raise ValueError("block_tokens must be positive")
+        self.config = config
+        self.dtype = dtype
+        self.block_tokens = block_tokens
+        self.bytes_per_token = config.kv_bytes_per_token(dtype)
+        usable = machine.dram_capacity_bytes * mem_fraction \
+            - config.weight_bytes(dtype)
+        if usable <= 0:
+            raise ValueError(
+                f"{config.name} weights do not fit in {machine.name}'s "
+                f"{machine.dram_capacity_gbytes:.0f} GiB DRAM")
+        self.total_blocks = int(usable //
+                                (block_tokens * self.bytes_per_token))
+        #: rid -> number of blocks held
+        self._blocks: dict = {}
+        #: rid -> cached token positions (≤ blocks * block_tokens)
+        self._tokens: dict = {}
+
+    # -- capacity -------------------------------------------------------
+    @property
+    def free_blocks(self) -> int:
+        return self.total_blocks - sum(self._blocks.values())
+
+    def blocks_for(self, tokens: int) -> int:
+        return -(-tokens // self.block_tokens)
+
+    def fits(self, tokens: int) -> bool:
+        """Could *tokens* positions ever fit in an empty pool?"""
+        return self.blocks_for(tokens) <= self.total_blocks
+
+    def can_grow(self, rid: int, new_total_tokens: int) -> bool:
+        held = self._blocks.get(rid, 0)
+        need = self.blocks_for(new_total_tokens) - held
+        return need <= self.free_blocks
+
+    # -- allocation -----------------------------------------------------
+    def grow(self, rid: int, new_total_tokens: int) -> None:
+        """Extend (or create) *rid*'s cache to cover
+        *new_total_tokens* positions."""
+        held = self._blocks.get(rid, 0)
+        need = self.blocks_for(new_total_tokens) - held
+        if need > self.free_blocks:
+            raise MemoryError(
+                f"kv pool exhausted: request {rid} needs {need} blocks, "
+                f"{self.free_blocks} free")
+        if need > 0:
+            self._blocks[rid] = held + need
+        elif rid not in self._blocks:
+            self._blocks[rid] = 0
+        self._tokens[rid] = new_total_tokens
+
+    def can_reserve(self, rid: int, tokens: int) -> bool:
+        need = self.blocks_for(tokens) - self._blocks.get(rid, 0)
+        return need <= self.free_blocks
+
+    def reserve(self, rid: int, tokens: int) -> None:
+        """Hold blocks for *tokens* positions without marking them
+        cached — static batching's worst-case up-front reservation.
+        Cached-token accounting still moves via :meth:`grow`, so the
+        fragmentation metric shows the reservation waste."""
+        need = self.blocks_for(tokens) - self._blocks.get(rid, 0)
+        if need > self.free_blocks:
+            raise MemoryError(
+                f"kv pool exhausted: request {rid} reserves {need} "
+                f"blocks, {self.free_blocks} free")
+        self._blocks[rid] = self._blocks.get(rid, 0) + max(0, need)
+        self._tokens.setdefault(rid, 0)
+
+    def release(self, rid: int) -> int:
+        """Free all of *rid*'s blocks; returns the evicted token count
+        (what a preempted request must re-prefill)."""
+        self._blocks.pop(rid, None)
+        return self._tokens.pop(rid, 0)
+
+    def cached_tokens(self, rid: int) -> int:
+        return self._tokens.get(rid, 0)
+
+    def holders(self) -> list:
+        """rids currently holding blocks, insertion-ordered."""
+        return list(self._blocks)
+
+    # -- accounting -----------------------------------------------------
+    def stats(self) -> KvPoolStats:
+        return KvPoolStats(
+            total_blocks=self.total_blocks,
+            used_blocks=sum(self._blocks.values()),
+            cached_tokens=sum(self._tokens.values()),
+            block_tokens=self.block_tokens)
+
+    @property
+    def occupancy(self) -> float:
+        return self.stats().occupancy
+
+    @property
+    def fragmentation(self) -> float:
+        return self.stats().fragmentation

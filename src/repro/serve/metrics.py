@@ -1,0 +1,122 @@
+"""Serving metrics: latency distributions, throughput, and pool telemetry.
+
+Per-request latencies follow the serving-systems convention: **TTFT**
+(arrival → first output token, includes queueing and prefill) and
+**TPOT** (mean gap between subsequent output tokens).  Time-series
+samples (queue depth, running batch size, KV occupancy/fragmentation)
+are taken once per simulated step.  Everything is plain floats computed
+deterministically, so two runs of the same seeded simulation produce
+bit-identical summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from .request import Request
+
+__all__ = ["percentile", "ServeSummary", "ServeMetrics"]
+
+
+def percentile(values, q: float) -> float:
+    """Deterministic linear-interpolation percentile (q in [0, 100])."""
+    if not values:
+        return 0.0
+    vals = sorted(values)
+    if len(vals) == 1:
+        return float(vals[0])
+    pos = (len(vals) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(vals) - 1)
+    frac = pos - lo
+    return float(vals[lo] * (1.0 - frac) + vals[hi] * frac)
+
+
+@dataclass(frozen=True)
+class ServeSummary:
+    """One simulation run, condensed."""
+
+    n_finished: int
+    n_rejected: int
+    n_preemptions: int
+    makespan_s: float
+    generated_tokens: int
+    tokens_per_s: float
+    ttft_p50_s: float
+    ttft_p99_s: float
+    tpot_p50_s: float
+    tpot_p99_s: float
+    e2e_p50_s: float
+    e2e_p99_s: float
+    mean_queue_depth: float
+    mean_batch: float
+    peak_kv_occupancy: float
+    mean_kv_fragmentation: float
+
+    def slo_attainment(self, ttft_target_s: float,
+                       tpot_target_s: float) -> bool:
+        return (self.ttft_p99_s <= ttft_target_s
+                and self.tpot_p99_s <= tpot_target_s)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class ServeMetrics:
+    """Accumulates per-request and per-step observations."""
+
+    ttfts: list = field(default_factory=list)
+    tpots: list = field(default_factory=list)
+    e2es: list = field(default_factory=list)
+    generated_tokens: int = 0
+    n_finished: int = 0
+    n_rejected: int = 0
+    n_preemptions: int = 0
+    #: (time_s, queue_depth, batch_size, kv_occupancy, kv_fragmentation)
+    samples: list = field(default_factory=list)
+
+    def on_finish(self, req: Request) -> None:
+        self.n_finished += 1
+        self.generated_tokens += req.generated
+        ttft = req.ttft_s()
+        if ttft is not None:
+            self.ttfts.append(ttft)
+        tpot = req.tpot_s()
+        if tpot is not None:
+            self.tpots.append(tpot)
+        self.e2es.append(req.finish_s - req.arrival_s)
+
+    def on_reject(self, req: Request) -> None:
+        self.n_rejected += 1
+
+    def on_preempt(self, req: Request) -> None:
+        self.n_preemptions += 1
+
+    def sample(self, now_s: float, queue_depth: int, batch_size: int,
+               kv_occupancy: float, kv_fragmentation: float) -> None:
+        self.samples.append((now_s, queue_depth, batch_size,
+                             kv_occupancy, kv_fragmentation))
+
+    def summary(self, makespan_s: float) -> ServeSummary:
+        mean = lambda xs: sum(xs) / len(xs) if xs else 0.0
+        return ServeSummary(
+            n_finished=self.n_finished,
+            n_rejected=self.n_rejected,
+            n_preemptions=self.n_preemptions,
+            makespan_s=makespan_s,
+            generated_tokens=self.generated_tokens,
+            tokens_per_s=(self.generated_tokens / makespan_s
+                          if makespan_s > 0 else 0.0),
+            ttft_p50_s=percentile(self.ttfts, 50),
+            ttft_p99_s=percentile(self.ttfts, 99),
+            tpot_p50_s=percentile(self.tpots, 50),
+            tpot_p99_s=percentile(self.tpots, 99),
+            e2e_p50_s=percentile(self.e2es, 50),
+            e2e_p99_s=percentile(self.e2es, 99),
+            mean_queue_depth=mean([s[1] for s in self.samples]),
+            mean_batch=mean([s[2] for s in self.samples]),
+            peak_kv_occupancy=max((s[3] for s in self.samples),
+                                  default=0.0),
+            mean_kv_fragmentation=mean([s[4] for s in self.samples]),
+        )

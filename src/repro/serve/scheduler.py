@@ -1,0 +1,85 @@
+"""SLO-aware admission control, queue ordering, and preemption policy.
+
+The scheduler protects latency targets (TTFT for queued requests, TPOT
+for running ones) the only ways an admission-controlled server can:
+refuse work it cannot serve in time, order the queue by earliest
+TTFT deadline, and pick preemption victims so the work already deepest
+into generation is the last to lose its KV cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .request import Request, RequestState
+
+__all__ = ["SloPolicy", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Serving latency targets and the knobs that defend them."""
+
+    #: time-to-first-token target (queueing + prefill), seconds
+    ttft_target_s: float = 2.0
+    #: time-per-output-token target (decode cadence), seconds
+    tpot_target_s: float = 0.25
+    #: reject new work when the prefill backlog exceeds this many
+    #: tokens (None disables admission control)
+    admission_backlog_tokens: int | None = None
+    #: preemption victim order: "newest" (LIFO, protects old work) or
+    #: "lowest-priority" (priority classes first, then newest)
+    preemption: str = "newest"
+
+    def __post_init__(self):
+        if self.preemption not in ("newest", "lowest-priority"):
+            raise ValueError(f"unknown preemption policy "
+                             f"{self.preemption!r}")
+
+
+#: no admission control, FCFS, LIFO preemption — the throughput-greedy
+#: default every comparison starts from
+GREEDY = SloPolicy(admission_backlog_tokens=None)
+
+
+class Scheduler:
+    """Applies one :class:`SloPolicy` to the server's queues."""
+
+    def __init__(self, policy: SloPolicy = GREEDY):
+        self.policy = policy
+
+    # -- admission ------------------------------------------------------
+    def admit(self, req: Request, waiting, pool) -> bool:
+        """Accept or reject *req* at arrival time."""
+        if not pool.fits(req.total_tokens):
+            req.state = RequestState.REJECTED
+            return False
+        cap = self.policy.admission_backlog_tokens
+        if cap is not None:
+            backlog = sum(r.prefill_remaining for r in waiting)
+            if backlog + req.prompt_tokens > cap:
+                req.state = RequestState.REJECTED
+                return False
+        return True
+
+    # -- queue ordering -------------------------------------------------
+    def order_waiting(self, waiting) -> list:
+        """Earliest-TTFT-deadline-first within priority class.  With a
+        uniform target this degrades to FCFS — the property that makes
+        the SLO policy a strict generalisation of the baseline."""
+        return sorted(waiting,
+                      key=lambda r: (r.priority,
+                                     r.arrival_s + self.policy.ttft_target_s,
+                                     r.rid))
+
+    # -- preemption -----------------------------------------------------
+    def pick_victim(self, running, protect=()) -> Request | None:
+        """Choose which running request loses its KV blocks."""
+        candidates = [r for r in running if r not in protect]
+        if not candidates:
+            return None
+        if self.policy.preemption == "lowest-priority":
+            key = lambda r: (-r.priority, -r.arrival_s, -r.rid)
+        else:  # newest
+            key = lambda r: (-r.arrival_s, -r.rid)
+        return sorted(candidates, key=key)[0]

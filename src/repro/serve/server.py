@@ -1,0 +1,209 @@
+"""The serving simulator: a deterministic discrete-event loop.
+
+Each iteration admits the arrivals due by the current clock, lets the
+scheduler order the queue, asks the batcher for a step plan, secures KV
+blocks (preempting victims when the pool is out), prices the step with
+:class:`~repro.serve.cost.ServeCostModel`, advances the clock by exactly
+that many seconds, and applies the step's effects to every request.
+There is no randomness anywhere in the loop — given a seeded traffic
+trace, two runs produce bit-identical metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..platform.machine import MachineModel
+from ..tpp.dtypes import DType
+from ..workloads.llm import LlmConfig
+from .batcher import ContinuousBatcher
+from .cost import ServeCostModel
+from .kv_pool import PagedKvPool
+from .metrics import ServeMetrics, ServeSummary
+from .request import RequestState
+from .scheduler import Scheduler
+
+__all__ = ["ServeReport", "ServeSimulator"]
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Everything one simulation run produced."""
+
+    summary: ServeSummary
+    metrics: ServeMetrics
+    requests: tuple
+    config_name: str
+    machine_name: str
+    stack_name: str
+    batcher_name: str
+    n_steps: int
+
+
+class ServeSimulator:
+    """Ties traffic, scheduler, batcher, KV pool and cost model together."""
+
+    def __init__(self, config: LlmConfig, machine: MachineModel,
+                 stack_name: str = "parlooper",
+                 dtype: DType = DType.BF16,
+                 batcher=None, scheduler: Scheduler | None = None,
+                 block_tokens: int = 16, mem_fraction: float = 0.9,
+                 cost: ServeCostModel | None = None):
+        self.config = config
+        self.machine = machine
+        self.stack_name = stack_name
+        # a shared cost model carries its engine-priced anchors across
+        # runs (sweeps re-price nothing)
+        self.cost = cost if cost is not None else \
+            ServeCostModel.for_stack(config, machine, stack_name, dtype)
+        self.pool = PagedKvPool(config, machine, dtype,
+                                block_tokens=block_tokens,
+                                mem_fraction=mem_fraction)
+        self.batcher = batcher if batcher is not None \
+            else ContinuousBatcher()
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+
+    # -- the event loop -------------------------------------------------
+    def run(self, requests, max_steps: int = 1_000_000) -> ServeReport:
+        reqs = sorted(requests, key=lambda r: (r.arrival_s, r.rid))
+        metrics = ServeMetrics()
+        waiting: list = []
+        running: list = []
+        now = 0.0
+        i = 0
+        steps = 0
+        while i < len(reqs) or waiting or running:
+            # admit everything that has arrived by the current clock
+            while i < len(reqs) and reqs[i].arrival_s <= now:
+                req = reqs[i]
+                i += 1
+                if self.scheduler.admit(req, waiting, self.pool):
+                    waiting.append(req)
+                else:
+                    metrics.on_reject(req)
+            if not waiting and not running:
+                now = reqs[i].arrival_s        # idle: jump to next arrival
+                continue
+
+            waiting = self.scheduler.order_waiting(waiting)
+            plan = self.batcher.plan(running, waiting)
+
+            # secure a block for every decode (preempting if needed) ...
+            decode = []
+            for req in plan.decode:
+                if req.state is RequestState.PREEMPTED:
+                    continue                   # lost its cache this step
+                if self._ensure_blocks(req, req.cached + 1, running,
+                                       waiting, metrics, protect=decode):
+                    decode.append(req)
+            # ... and blocks for prefill chunks (deferred if pool is full)
+            prefill = []
+            for req, chunk in plan.prefill:
+                target = req.total_tokens if self.batcher.reserve_full \
+                    else req.cached + chunk
+                if self.batcher.reserve_full:
+                    if not self.pool.can_reserve(req.rid, target):
+                        continue
+                    self.pool.reserve(req.rid, target)
+                    self.pool.grow(req.rid, req.cached + chunk)
+                else:
+                    if not self.pool.can_grow(req.rid, target):
+                        continue
+                    self.pool.grow(req.rid, target)
+                prefill.append((req, chunk, chunk >= req.prefill_remaining))
+
+            if not decode and not prefill:
+                holders = [r for r in waiting if r.cached > 0]
+                if holders and not running:
+                    # pool full of stalled partial prefills: reclaim them
+                    for req in holders:
+                        self._preempt(req, running, waiting, metrics)
+                    continue
+                if i < len(reqs):
+                    now = max(now, reqs[i].arrival_s)   # blocked on pool
+                    continue
+                raise RuntimeError(
+                    "serving deadlock: no step schedulable and no "
+                    "arrivals left")
+
+            # price the step and advance the clock
+            chunks = [(c, req.cached) for req, c, _ in prefill]
+            n_emit = len(decode) + sum(1 for req, _, completing in prefill
+                                       if completing and req.generated == 0)
+            now += self.cost.step_seconds(chunks,
+                                          [r.cached for r in decode],
+                                          n_emit)
+
+            # apply decode effects
+            for req in decode:
+                req.cached += 1
+                req.generated += 1
+                req.token_times.append(now)
+                if req.done:
+                    self._finish(req, now, running, metrics)
+            # apply prefill effects
+            for req, chunk, completing in prefill:
+                req.cached += chunk
+                req.state = RequestState.PREFILL
+                if completing:
+                    if req.generated == 0:     # prompt pass emits token 1
+                        req.generated = 1
+                        req.first_token_s = now
+                        req.token_times.append(now)
+                    req.state = RequestState.DECODE
+                    waiting.remove(req)
+                    running.append(req)
+                    if req.done:
+                        self._finish(req, now, running, metrics)
+
+            metrics.sample(now, len(waiting), len(decode) + len(prefill),
+                           self.pool.occupancy, self.pool.fragmentation)
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError(f"simulation exceeded {max_steps} steps")
+
+        return ServeReport(
+            summary=metrics.summary(now),
+            metrics=metrics,
+            requests=tuple(reqs),
+            config_name=self.config.name,
+            machine_name=self.machine.name,
+            stack_name=self.stack_name,
+            batcher_name=self.batcher.name,
+            n_steps=steps)
+
+    # -- helpers --------------------------------------------------------
+    def _ensure_blocks(self, req, new_total, running, waiting, metrics,
+                       protect) -> bool:
+        """Make the pool able to grow *req*; preempt victims if needed."""
+        while not self.pool.can_grow(req.rid, new_total):
+            victim = self.scheduler.pick_victim(
+                [r for r in running if r is not req], protect=protect)
+            if victim is None:
+                # no running victim: reclaim a stalled partial prefill
+                holders = [r for r in waiting
+                           if r.cached > 0 and r is not req]
+                victim = self.scheduler.pick_victim(holders,
+                                                    protect=protect)
+            if victim is None:
+                return False
+            self._preempt(victim, running, waiting, metrics)
+        self.pool.grow(req.rid, new_total)
+        return True
+
+    def _preempt(self, victim, running, waiting, metrics) -> None:
+        self.pool.release(victim.rid)
+        victim.cached = 0
+        victim.state = RequestState.PREEMPTED
+        victim.preemptions += 1
+        if victim in running:
+            running.remove(victim)
+            waiting.append(victim)
+        metrics.on_preempt(victim)
+
+    def _finish(self, req, now, running, metrics) -> None:
+        req.state = RequestState.FINISHED
+        req.finish_s = now
+        self.pool.release(req.rid)
+        running.remove(req)
+        metrics.on_finish(req)

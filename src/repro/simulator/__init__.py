@@ -5,6 +5,7 @@ from .cost import bandwidth_event, brgemm_event, eltwise_event, spmm_event
 from .engine import SimResult, simulate, simulate_flat, simulate_traces
 from .lru import CacheHierarchy, LRUCache
 from .perfmodel import PerfPrediction, predict, predict_traces
+from .report import format_result, thread_balance
 from .trace import (Access, BodyEvent, ThreadTrace, trace_flat,
                     trace_threaded_loop)
 
@@ -15,4 +16,5 @@ __all__ = [
     "brgemm_event", "spmm_event", "eltwise_event", "bandwidth_event",
     "PerfPrediction", "predict", "predict_traces",
     "SimResult", "simulate", "simulate_flat", "simulate_traces",
+    "format_result", "thread_balance",
 ]

@@ -1,0 +1,65 @@
+"""Human-readable reports over simulation results.
+
+DESIGN §3 lists this module as the simulator's presentation layer: it
+turns :class:`~repro.simulator.engine.SimResult` /
+:class:`~repro.simulator.perfmodel.PerfPrediction` objects into compact
+text blocks (GFLOPS, where the bytes were served from, thread balance)
+for examples and bench headers — formatting only, no simulation logic.
+"""
+
+from __future__ import annotations
+
+from ..platform.machine import MachineModel
+
+__all__ = ["format_result", "thread_balance"]
+
+
+def thread_balance(per_thread_seconds) -> float:
+    """Mean/max per-thread busy time: 1.0 is perfectly balanced, small
+    values mean a few threads carry the nest."""
+    ts = [t for t in per_thread_seconds if t > 0]
+    if not ts:
+        return 1.0
+    return (sum(ts) / len(ts)) / max(ts)
+
+
+def format_result(result, machine: MachineModel | None = None,
+                  title: str = "") -> str:
+    """Render a :class:`SimResult` or :class:`PerfPrediction`.
+
+    Engine results report per-level served bytes; perfmodel predictions
+    report per-level hit fractions — whichever the object carries.
+    """
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    if machine is not None:
+        lines.append(machine.describe())
+    us = result.seconds * 1e6
+    lines.append(f"time {us:,.1f} us | {result.gflops:,.1f} GFLOPS")
+    level_names = [lv.name for lv in machine.caches] + ["DRAM"] \
+        if machine is not None else None
+
+    def name(i, n):
+        if level_names is not None and len(level_names) == n:
+            return level_names[i]
+        return f"L{i + 1}" if i < n - 1 else "MEM"
+
+    served = getattr(result, "level_bytes", None)
+    if served is not None:
+        tot = sum(served) or 1.0
+        parts = [f"{name(i, len(served))} {100.0 * b / tot:.0f}%"
+                 for i, b in enumerate(served)]
+        lines.append("bytes served: " + ", ".join(parts))
+    fractions = getattr(result, "hit_fractions", None)
+    if fractions is not None:
+        parts = [f"{name(i, len(fractions))} {100.0 * f:.0f}%"
+                 for i, f in enumerate(fractions)]
+        lines.append("accesses hit: " + ", ".join(parts))
+    bal = thread_balance(result.per_thread_seconds)
+    lines.append(f"threads {len(result.per_thread_seconds)} | "
+                 f"balance {bal:.2f}")
+    remote = getattr(result, "remote_hits", 0)
+    if remote:
+        lines.append(f"remote LLC hits: {remote:,}")
+    return "\n".join(lines)

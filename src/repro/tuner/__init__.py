@@ -5,10 +5,12 @@ from .constraints import TuningConstraints, prefix_products, prime_factors
 from .generator import Candidate, generate_candidates
 from .search import (SearchResult, TuneOutcome, engine_evaluator,
                      perfmodel_evaluator, search)
+from .timing import TuningCost
 
 __all__ = [
     "TuningConstraints", "prime_factors", "prefix_products",
     "Candidate", "generate_candidates",
     "TuneOutcome", "SearchResult", "search",
     "perfmodel_evaluator", "engine_evaluator",
+    "TuningCost",
 ]

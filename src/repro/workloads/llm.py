@@ -59,6 +59,24 @@ class LlmConfig:
     def weight_bytes(self, dtype: DType) -> float:
         return self.n_params * dtype.nbytes
 
+    #: operators per decoder step (QKV + attn + out-proj + MLP + norms
+    #: etc.) — what eager stacks pay per-op dispatch overhead on
+    @property
+    def ops_per_step(self) -> int:
+        return 9 * self.layers
+
+    def layer_kv_bytes_per_token(self, dtype: DType) -> int:
+        """K + V bytes one layer stores per cached token."""
+        return 2 * self.hidden * dtype.nbytes
+
+    def kv_bytes_per_token(self, dtype: DType) -> int:
+        """K + V bytes the whole model stores per cached token."""
+        return self.layers * self.layer_kv_bytes_per_token(dtype)
+
+    def kv_bytes(self, tokens: int, dtype: DType) -> float:
+        """KV-cache footprint of *tokens* cached positions."""
+        return tokens * self.kv_bytes_per_token(dtype)
+
 
 GPTJ_6B = LlmConfig("GPT-J-6B", 28, 4096, 16, 16384, 50400)
 LLAMA2_13B = LlmConfig("Llama2-13B", 40, 5120, 40, 13824, 32000,
@@ -106,11 +124,10 @@ def llm_inference_latency(config: LlmConfig, machine: MachineModel,
     wbytes = config.weight_bytes(dtype)
     t_w = cost.bandwidth_seconds(wbytes)              # stream all weights
     kv_ctx = prompt + new_tokens // 2                 # average context
-    kv_bytes = L * 2 * kv_ctx * h * dtype.nbytes
-    t_kv = cost.bandwidth_seconds(kv_bytes)
+    t_kv = cost.bandwidth_seconds(config.kv_bytes(kv_ctx, dtype))
     # GEMV compute rarely binds, but reference stacks pay eager per-op
     # overheads on every one of the ~9L ops of a decoder step
-    ops_per_step = 9 * L
+    ops_per_step = config.ops_per_step
     overhead = ops_per_step * stack.op_overhead_us * 1e-6
     t2 = t_w + t_kv + overhead
     if dtype.is_low_precision and not stack.bf16_native:

@@ -139,6 +139,25 @@ class OpCostModel:
             t *= 3.0
         return t
 
+    def ragged_gemm_seconds(self, M: int, n_list, K: int,
+                            dtype: DType) -> float:
+        """A ragged batch of GEMMs sharing the B operand (weights).
+
+        This is the shape of one serving step over a mixed batch: every
+        sequence multiplies the *same* ``M x K`` weight panel by its own
+        ``n`` tokens.  Fused/batched stacks concatenate the ragged token
+        dimension and dispatch one GEMM of ``N = sum(n)`` — the weights
+        stream once for the whole batch.  Unfused stacks dispatch per
+        sequence and re-read the shared weights every time, which is
+        exactly why batching barely helps them in the decode regime.
+        """
+        n_list = [n for n in n_list if n > 0]
+        if not n_list:
+            return 0.0
+        if self.stack.fused:
+            return self.gemm_seconds(M, sum(n_list), K, dtype)
+        return sum(self.gemm_seconds(M, n, K, dtype) for n in n_list)
+
     def spmm_seconds(self, M: int, N: int, K: int, dtype: DType,
                      sparsity: float, block: int) -> float:
         """Block-sparse contraction: the *dense engine price* scaled by

@@ -1,5 +1,7 @@
 """Tests for the bench harness utilities and paper reference data."""
 
+import json
+
 import pytest
 
 from repro.bench import PAPER, ExperimentTable, fmt
@@ -47,6 +49,39 @@ class TestExperimentTable:
         t.add("longvalue")
         lines = t.render().splitlines()
         assert len(lines[1]) == len(lines[3])  # header width == row width
+
+
+class TestWriteJson:
+    def table(self):
+        t = ExperimentTable("Serve", ["policy", "tok/s"])
+        t.add("continuous", 400.0)
+        t.note("SPR")
+        return t
+
+    def test_payload_round_trips(self):
+        payload = self.table().to_payload()
+        assert payload == {"title": "Serve",
+                           "columns": ["policy", "tok/s"],
+                           "rows": [["continuous", "400.00"]],
+                           "notes": ["SPR"]}
+
+    def test_writes_named_file(self, tmp_path):
+        path = self.table().write_json("serve", out_dir=str(tmp_path))
+        assert path == str(tmp_path / "BENCH_serve.json")
+        with open(path) as fh:
+            assert json.load(fh) == self.table().to_payload()
+
+    def test_env_var_destination(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JSON_DIR", str(tmp_path / "out"))
+        path = self.table().write_json("fig11")
+        assert path == str(tmp_path / "out" / "BENCH_fig11.json")
+        with open(path) as fh:
+            assert json.load(fh)["title"] == "Serve"
+
+    def test_noop_without_destination(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_JSON_DIR", raising=False)
+        assert self.table().write_json("serve") is None
+        assert list(tmp_path.iterdir()) == []
 
 
 class TestPaperData:

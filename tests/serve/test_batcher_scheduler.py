@@ -1,0 +1,134 @@
+"""Tests for batch composition and SLO scheduling policies."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.platform import SPR
+from repro.serve import (ContinuousBatcher, PagedKvPool, Request, Scheduler,
+                         SloPolicy, StaticBatcher)
+from repro.serve.request import RequestState
+from repro.tpp.dtypes import DType
+from repro.workloads import LlmConfig
+
+TINY = LlmConfig("tiny", layers=4, hidden=256, heads=8, intermediate=1024,
+                 vocab=1024)
+
+
+def req(rid, arrival=0.0, prompt=100, new=10, priority=0):
+    return Request(rid=rid, arrival_s=arrival, prompt_tokens=prompt,
+                   max_new_tokens=new, priority=priority)
+
+
+def decoding(rid, arrival=0.0, prompt=100, new=10):
+    r = req(rid, arrival, prompt, new)
+    r.cached = prompt
+    r.generated = 1
+    r.state = RequestState.DECODE
+    return r
+
+
+class TestContinuousBatcher:
+    def test_decode_first_then_prefill_fills_budget(self):
+        b = ContinuousBatcher(token_budget=128, max_batch=8)
+        running = [decoding(0), decoding(1)]
+        waiting = [req(2, prompt=1000), req(3, prompt=50)]
+        plan = b.plan(running, waiting)
+        assert plan.decode == running
+        # 126 tokens left: big prompt gets a partial chunk, then 0 left
+        assert plan.prefill == [(waiting[0], 126)]
+        assert plan.step_tokens == 128
+
+    def test_chunked_prefill_continues(self):
+        b = ContinuousBatcher(token_budget=64, max_batch=8)
+        r = req(0, prompt=100)
+        r.cached = 60
+        plan = b.plan([], [r])
+        assert plan.prefill == [(r, 40)]
+
+    def test_max_batch_caps_sequences(self):
+        b = ContinuousBatcher(token_budget=10_000, max_batch=4)
+        running = [decoding(i) for i in range(6)]
+        waiting = [req(10), req(11)]
+        plan = b.plan(running, waiting)
+        assert len(plan.decode) == 4
+        assert plan.prefill == []
+
+    def test_empty_queues_empty_plan(self):
+        assert ContinuousBatcher().plan([], []).empty
+
+
+class TestStaticBatcher:
+    def test_forms_batch_only_when_idle(self):
+        b = StaticBatcher(max_batch=2)
+        waiting = [req(0), req(1), req(2)]
+        plan = b.plan([], waiting)
+        # whole prompts, batch-size many, nothing chunked
+        assert [(r.rid, t) for r, t in plan.prefill] == [(0, 100), (1, 100)]
+
+    def test_no_joins_mid_flight(self):
+        b = StaticBatcher(max_batch=2)
+        running = [decoding(0)]
+        plan = b.plan(running, [req(5)])
+        assert plan.decode == running
+        assert plan.prefill == []          # request 5 must wait
+
+    def test_reserve_full_flag(self):
+        assert StaticBatcher().reserve_full
+        assert not ContinuousBatcher().reserve_full
+
+
+class TestSloPolicy:
+    def test_rejects_unknown_preemption(self):
+        with pytest.raises(ValueError):
+            SloPolicy(preemption="oldest")
+
+    def test_admission_backlog_cap(self):
+        pool = PagedKvPool(TINY, SPR, DType.BF16)
+        sched = Scheduler(SloPolicy(admission_backlog_tokens=150))
+        waiting = [req(0, prompt=100)]
+        assert sched.admit(req(1, prompt=40), waiting, pool)
+        assert not sched.admit(req(2, prompt=120), waiting, pool)
+
+    def test_oversized_request_rejected_even_greedy(self):
+        machine = replace(
+            SPR, dram_capacity_gbytes=(
+                TINY.weight_bytes(DType.BF16)
+                + 100 * TINY.kv_bytes_per_token(DType.BF16)) / (1 << 30))
+        pool = PagedKvPool(TINY, machine, DType.BF16, mem_fraction=1.0)
+        sched = Scheduler()
+        assert sched.admit(req(0, prompt=50, new=10), [], pool)
+        huge = req(1, prompt=2000, new=100)
+        assert not sched.admit(huge, [], pool)
+        assert huge.state is RequestState.REJECTED
+
+    def test_waiting_ordered_by_deadline_then_fcfs(self):
+        sched = Scheduler(SloPolicy(ttft_target_s=1.0))
+        a, b, c = req(0, arrival=2.0), req(1, arrival=1.0), req(2, 1.0)
+        assert sched.order_waiting([a, b, c]) == [b, c, a]
+
+    def test_priority_classes_dominate_deadlines(self):
+        sched = Scheduler(SloPolicy(ttft_target_s=1.0))
+        vip = req(5, arrival=9.0, priority=-1)
+        old = req(6, arrival=0.0)
+        assert sched.order_waiting([old, vip]) == [vip, old]
+
+
+class TestPreemptionVictims:
+    def test_newest_victim_lifo(self):
+        sched = Scheduler(SloPolicy(preemption="newest"))
+        a, b = decoding(0, arrival=1.0), decoding(1, arrival=5.0)
+        assert sched.pick_victim([a, b]) is b
+
+    def test_protected_requests_skipped(self):
+        sched = Scheduler()
+        a, b = decoding(0, arrival=1.0), decoding(1, arrival=5.0)
+        assert sched.pick_victim([a, b], protect=[b]) is a
+        assert sched.pick_victim([a], protect=[a]) is None
+
+    def test_lowest_priority_victim(self):
+        sched = Scheduler(SloPolicy(preemption="lowest-priority"))
+        vip = decoding(0, arrival=9.0)
+        vip.priority = -1
+        batch = decoding(1, arrival=1.0)
+        assert sched.pick_victim([vip, batch]) is batch

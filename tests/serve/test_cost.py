@@ -1,0 +1,107 @@
+"""Tests for the batched/ragged serving cost model."""
+
+import pytest
+
+from repro.platform import SPR
+from repro.serve import ServeCostModel
+from repro.tpp.dtypes import DType
+from repro.workloads import GPTJ_6B, OpCostModel
+from repro.baselines.stacks import STACKS
+
+TINY_LLM = GPTJ_6B  # pricing is closed-form/cached; the real config is fine
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return ServeCostModel.for_stack(TINY_LLM, SPR)
+
+
+class TestRaggedGemm:
+    def test_fused_concatenates(self):
+        c = OpCostModel(SPR, STACKS["parlooper"])
+        ragged = c.ragged_gemm_seconds(512, [3, 5, 8], 512, DType.BF16)
+        concat = c.gemm_seconds(512, 16, 512, DType.BF16)
+        assert ragged == pytest.approx(concat)
+
+    def test_unfused_pays_per_sequence(self):
+        c = OpCostModel(SPR, STACKS["hf"])
+        ragged = c.ragged_gemm_seconds(512, [4] * 8, 512, DType.BF16)
+        single = c.gemm_seconds(512, 4, 512, DType.BF16)
+        assert ragged == pytest.approx(8 * single)
+        # ... which is why batching barely helps the eager stack
+        fused = OpCostModel(SPR, STACKS["parlooper"]).ragged_gemm_seconds(
+            512, [4] * 8, 512, DType.BF16)
+        assert fused < ragged
+
+    def test_empty_batch_is_free(self):
+        c = OpCostModel(SPR, STACKS["parlooper"])
+        assert c.ragged_gemm_seconds(512, [], 512, DType.BF16) == 0.0
+        assert c.ragged_gemm_seconds(512, [0, 0], 512, DType.BF16) == 0.0
+
+
+class TestDecodeBatchEconomics:
+    def test_batched_decode_amortises_weights(self, cost):
+        """The continuous-batching premise: a step for 16 sequences is
+        far cheaper than 16 single-sequence steps."""
+        one = cost.decode_step_seconds([1024])
+        sixteen = cost.decode_step_seconds([1024] * 16)
+        assert sixteen < 4 * one
+
+    def test_decode_cost_grows_with_context(self, cost):
+        # longer KV caches stream more bytes
+        assert cost.decode_step_seconds([2048] * 4) \
+            > cost.decode_step_seconds([256] * 4)
+
+    def test_single_decode_consistent_with_fig11(self, cost):
+        """One-sequence decode must price in the same regime as the
+        BS=1 next-token model (weight streaming dominated)."""
+        step = cost.decode_step_seconds([1024])
+        t_w = cost.bandwidth_seconds(
+            TINY_LLM.weight_bytes(DType.BF16))
+        assert 0.5 * t_w < step < 4.0 * t_w
+
+
+class TestStepComposition:
+    def test_empty_step_is_free(self, cost):
+        assert cost.step_seconds() == 0.0
+
+    def test_prefill_scales_with_tokens(self, cost):
+        small = cost.step_seconds(prefill_chunks=[(128, 0)])
+        big = cost.step_seconds(prefill_chunks=[(1024, 0)])
+        assert big > 4 * small
+
+    def test_chunked_prefill_rereads_earlier_kv(self, cost):
+        cold = cost.step_seconds(prefill_chunks=[(256, 0)])
+        warm = cost.step_seconds(prefill_chunks=[(256, 1024)])
+        assert warm > cold
+
+    def test_mixed_step_cheaper_than_split(self, cost):
+        """Piggybacking decodes on a prefill step beats running the two
+        as separate passes (the weights stream once)."""
+        mixed = cost.step_seconds(prefill_chunks=[(256, 0)],
+                                  decode_contexts=[512] * 8, n_emit=8)
+        split = cost.step_seconds(prefill_chunks=[(256, 0)]) \
+            + cost.decode_step_seconds([512] * 8)
+        assert mixed < split
+
+    def test_requires_config(self):
+        with pytest.raises(ValueError):
+            ServeCostModel(SPR, STACKS["parlooper"])
+
+
+class TestPricingBuckets:
+    def test_pow2_rounding_above_64(self):
+        assert ServeCostModel._round(65) == 128
+        assert ServeCostModel._round(512) == 512
+        assert ServeCostModel._round(1500) == 2048
+        # decode regime keeps the base model's exact small buckets
+        assert ServeCostModel._round(48) == OpCostModel._round(48)
+
+    def test_prefill_prices_scale_from_anchor(self, cost):
+        # two large-N prices of the same weight panel come from one
+        # engine anchor and scale linearly
+        a = cost.gemm_seconds(4096, 512, 4096, DType.BF16)
+        b = cost.gemm_seconds(4096, 1024, 4096, DType.BF16)
+        overhead = cost.stack.op_overhead_us * 1e-6
+        assert (b - overhead) == pytest.approx(2 * (a - overhead),
+                                               rel=1e-6)

@@ -1,0 +1,111 @@
+"""Tests for the paged KV-cache pool."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.platform import SPR
+from repro.serve import PagedKvPool
+from repro.tpp.dtypes import DType
+from repro.workloads import LlmConfig
+
+TINY = LlmConfig("tiny", layers=4, hidden=256, heads=8, intermediate=1024,
+                 vocab=1024)
+
+
+def small_pool(n_blocks=32, block_tokens=16):
+    """A pool with exactly *n_blocks* blocks on a shrunken SPR."""
+    bytes_needed = TINY.weight_bytes(DType.BF16) \
+        + n_blocks * block_tokens * TINY.kv_bytes_per_token(DType.BF16)
+    machine = replace(SPR, dram_capacity_gbytes=bytes_needed / (1 << 30))
+    return PagedKvPool(TINY, machine, DType.BF16,
+                       block_tokens=block_tokens, mem_fraction=1.0)
+
+
+class TestSizing:
+    def test_kv_byte_math(self):
+        # per token: layers x 2 (K+V) x hidden x dtype bytes
+        assert TINY.kv_bytes_per_token(DType.BF16) == 4 * 2 * 256 * 2
+        assert TINY.kv_bytes(10, DType.BF16) == 10 * 4 * 2 * 256 * 2
+
+    def test_pool_sized_from_machine_memory(self):
+        pool = PagedKvPool(TINY, SPR, DType.BF16, block_tokens=16)
+        expected = (SPR.dram_capacity_bytes * 0.9
+                    - TINY.weight_bytes(DType.BF16)) \
+            // (16 * TINY.kv_bytes_per_token(DType.BF16))
+        assert pool.total_blocks == int(expected)
+
+    def test_weights_must_fit(self):
+        cramped = replace(SPR, dram_capacity_gbytes=0.001)
+        with pytest.raises(ValueError):
+            PagedKvPool(TINY, cramped, DType.BF16)
+
+
+class TestAllocation:
+    def test_grow_and_release(self):
+        pool = small_pool(n_blocks=32)
+        pool.grow(1, 20)                     # 20 tokens -> 2 blocks
+        assert pool.free_blocks == 30
+        assert pool.cached_tokens(1) == 20
+        pool.grow(1, 33)                     # -> 3 blocks
+        assert pool.free_blocks == 29
+        assert pool.release(1) == 33
+        assert pool.free_blocks == 32
+
+    def test_grow_is_incremental(self):
+        pool = small_pool(n_blocks=4, block_tokens=16)
+        pool.grow(1, 16)
+        pool.grow(2, 16)
+        assert pool.can_grow(1, 32) and pool.can_grow(2, 32)
+        pool.grow(1, 32)
+        pool.grow(2, 32)
+        # 4 blocks used; nobody can take a 5th
+        assert not pool.can_grow(1, 48)
+        with pytest.raises(MemoryError):
+            pool.grow(2, 48)
+
+    def test_fits_is_whole_pool(self):
+        pool = small_pool(n_blocks=8, block_tokens=16)
+        assert pool.fits(128)
+        assert not pool.fits(129)
+
+    def test_reserve_holds_blocks_without_caching(self):
+        pool = small_pool(n_blocks=8, block_tokens=16)
+        pool.reserve(1, 64)                  # 4 blocks held
+        assert pool.free_blocks == 4
+        assert pool.cached_tokens(1) == 0
+        pool.grow(1, 30)                     # fills within reservation
+        assert pool.free_blocks == 4         # no extra blocks taken
+        assert pool.cached_tokens(1) == 30
+        with pytest.raises(MemoryError):
+            pool.reserve(2, 128)
+
+
+class TestAccounting:
+    def test_occupancy(self):
+        pool = small_pool(n_blocks=10)
+        assert pool.occupancy == 0.0
+        pool.grow(1, 16 * 5)
+        assert pool.occupancy == pytest.approx(0.5)
+
+    def test_fragmentation_bounded_by_one_block(self):
+        pool = small_pool(n_blocks=10, block_tokens=16)
+        pool.grow(1, 17)                     # 2 blocks, 15 slots wasted
+        assert pool.fragmentation == pytest.approx(15 / 32)
+        pool.grow(1, 32)                     # exactly full blocks
+        assert pool.fragmentation == 0.0
+
+    def test_reservation_shows_as_fragmentation(self):
+        pool = small_pool(n_blocks=10, block_tokens=16)
+        pool.reserve(1, 160)                 # worst case held, nothing used
+        assert pool.occupancy == 1.0
+        assert pool.fragmentation == 1.0
+
+    def test_stats_snapshot(self):
+        pool = small_pool(n_blocks=10)
+        pool.grow(1, 16)
+        pool.grow(2, 8)
+        st = pool.stats()
+        assert st.used_blocks == 2
+        assert st.cached_tokens == 24
+        assert pool.holders() == [1, 2]

@@ -1,0 +1,101 @@
+"""Tests for serving requests and the synthetic traffic generator."""
+
+import pytest
+
+from repro.serve import Request, RequestState, TrafficGenerator
+
+
+class TestRequestBookkeeping:
+    def test_fresh_request_needs_full_prompt(self):
+        r = Request(rid=0, arrival_s=0.0, prompt_tokens=100,
+                    max_new_tokens=10)
+        assert r.prefill_target == 100
+        assert r.prefill_remaining == 100
+        assert not r.decode_ready
+        assert r.total_tokens == 110
+
+    def test_prefill_completion_enables_decode(self):
+        r = Request(rid=0, arrival_s=0.0, prompt_tokens=100,
+                    max_new_tokens=10)
+        r.cached = 100
+        r.generated = 1            # the prompt pass emits the first token
+        assert r.prefill_remaining == 0
+        assert r.decode_ready
+
+    def test_preemption_rebuild_target(self):
+        # after 5 generated tokens, a preempted request must re-prefill
+        # the prompt plus 4 tokens: the 5th is consumed by the next
+        # decode step
+        r = Request(rid=0, arrival_s=0.0, prompt_tokens=100,
+                    max_new_tokens=10)
+        r.generated = 5
+        r.cached = 0
+        assert r.prefill_target == 104
+        assert not r.decode_ready
+
+    def test_latency_accessors(self):
+        r = Request(rid=0, arrival_s=1.0, prompt_tokens=10,
+                    max_new_tokens=5)
+        assert r.ttft_s() is None and r.tpot_s() is None
+        r.first_token_s = 1.5
+        r.generated = 5
+        r.finish_s = 2.5
+        assert r.ttft_s() == pytest.approx(0.5)
+        assert r.tpot_s() == pytest.approx(0.25)
+
+    def test_identity_semantics(self):
+        a = Request(rid=0, arrival_s=0.0, prompt_tokens=1, max_new_tokens=1)
+        b = Request(rid=0, arrival_s=0.0, prompt_tokens=1, max_new_tokens=1)
+        assert a != b and a == a
+        assert b in [b] and b not in [a]
+
+
+class TestTrafficGenerator:
+    def test_deterministic_under_seed(self):
+        g = TrafficGenerator(rate_rps=5.0, seed=3)
+        a, b = g.generate(50), g.generate(50)
+        assert [(r.arrival_s, r.prompt_tokens, r.max_new_tokens)
+                for r in a] == \
+               [(r.arrival_s, r.prompt_tokens, r.max_new_tokens)
+                for r in b]
+
+    def test_seed_changes_trace(self):
+        a = TrafficGenerator(rate_rps=5.0, seed=1).generate(50)
+        b = TrafficGenerator(rate_rps=5.0, seed=2).generate(50)
+        assert [r.arrival_s for r in a] != [r.arrival_s for r in b]
+
+    def test_longer_trace_extends_shorter(self):
+        g = TrafficGenerator(rate_rps=5.0, seed=3)
+        short, long = g.generate(20), g.generate(40)
+        assert [(r.arrival_s, r.prompt_tokens, r.max_new_tokens)
+                for r in short] == \
+               [(r.arrival_s, r.prompt_tokens, r.max_new_tokens)
+                for r in long[:20]]
+
+    def test_bounds_respected(self):
+        g = TrafficGenerator(rate_rps=10.0, seed=0, min_prompt=8,
+                             max_prompt=64, max_new_tokens=16)
+        for r in g.generate(200):
+            assert 8 <= r.prompt_tokens <= 64
+            assert 1 <= r.max_new_tokens <= 16
+            assert r.state is RequestState.QUEUED
+
+    def test_arrivals_sorted_and_rate_plausible(self):
+        g = TrafficGenerator(rate_rps=10.0, seed=0)
+        reqs = g.generate(400)
+        arr = [r.arrival_s for r in reqs]
+        assert arr == sorted(arr)
+        mean_gap = arr[-1] / len(arr)
+        assert 0.05 < mean_gap < 0.2       # ~1/10 s between arrivals
+
+    def test_generate_until_horizon(self):
+        g = TrafficGenerator(rate_rps=10.0, seed=0)
+        reqs = g.generate_until(5.0)
+        assert reqs and all(r.arrival_s < 5.0 for r in reqs)
+        # same prefix as a plain generate
+        head = g.generate(len(reqs))
+        assert [r.arrival_s for r in reqs] == [r.arrival_s for r in head]
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator(rate_rps=0.0).generate(1)

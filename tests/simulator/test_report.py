@@ -1,0 +1,58 @@
+"""Tests for the simulator's presentation layer (report formatting)."""
+
+from repro.platform import SPR
+from repro.simulator import SimResult, format_result, thread_balance
+from repro.simulator.perfmodel import PerfPrediction
+
+
+class TestThreadBalance:
+    def test_perfect_balance(self):
+        assert thread_balance([1.0, 1.0, 1.0]) == 1.0
+
+    def test_one_thread_carries_the_nest(self):
+        assert thread_balance([4.0, 1.0, 1.0]) == (6.0 / 3) / 4.0
+
+    def test_idle_threads_ignored(self):
+        assert thread_balance([2.0, 2.0, 0.0, 0.0]) == 1.0
+
+    def test_empty_is_balanced(self):
+        assert thread_balance([]) == 1.0
+        assert thread_balance([0.0, 0.0]) == 1.0
+
+
+class TestFormatResult:
+    def sim_result(self):
+        return SimResult(seconds=1e-3, total_flops=2e9,
+                         per_thread_seconds=(1e-3, 0.5e-3),
+                         level_bytes=(600.0, 300.0, 100.0))
+
+    def test_engine_result_block(self):
+        out = format_result(self.sim_result(), title="gemm")
+        assert "== gemm ==" in out
+        assert "2,000.0 GFLOPS" in out
+        assert "bytes served: L1 60%, L2 30%, MEM 10%" in out
+        assert "threads 2 | balance 0.75" in out
+
+    def test_machine_names_cache_levels(self):
+        n_levels = len(SPR.caches) + 1
+        r = SimResult(seconds=1e-3, total_flops=1e9,
+                      per_thread_seconds=(1e-3,),
+                      level_bytes=tuple([100.0] * n_levels))
+        out = format_result(r, machine=SPR)
+        assert SPR.caches[0].name in out
+
+    def test_remote_hits_only_when_present(self):
+        r = self.sim_result()
+        assert "remote" not in format_result(r)
+        remote = SimResult(seconds=r.seconds, total_flops=r.total_flops,
+                           per_thread_seconds=r.per_thread_seconds,
+                           level_bytes=r.level_bytes, remote_hits=1234)
+        assert "remote LLC hits: 1,234" in format_result(remote)
+
+    def test_prediction_reports_hit_fractions(self):
+        p = PerfPrediction(seconds=2e-3, total_flops=1e9,
+                           per_thread_seconds=(2e-3, 2e-3),
+                           hit_fractions=(0.9, 0.08, 0.02))
+        out = format_result(p)
+        assert "accesses hit: L1 90%, L2 8%, MEM 2%" in out
+        assert "bytes served" not in out

@@ -3,7 +3,9 @@ JIT loop-nest generation with caching, and the execution runtime."""
 
 from .cache import NestCache, global_nest_cache
 from .codegen import GeneratedNest, compile_nest, generate_source
-from .errors import ExecutionError, ParlooperError, SpecError
+from .errors import (DeadlockError, ExecutionError, ParlooperError,
+                     ServeConfigError, ServeError, SpecError,
+                     StepBudgetError)
 from .loop_spec import LoopSpecs
 from .parser import LoopToken, ParsedSpec, parse_spec_string
 from .plan import LoopLevel, LoopNestPlan, build_plan
@@ -13,6 +15,7 @@ from .threaded_loop import ThreadedLoop, default_num_threads
 __all__ = [
     "LoopSpecs", "ThreadedLoop", "default_num_threads",
     "ParlooperError", "SpecError", "ExecutionError",
+    "ServeError", "ServeConfigError", "DeadlockError", "StepBudgetError",
     "LoopToken", "ParsedSpec", "parse_spec_string",
     "LoopLevel", "LoopNestPlan", "build_plan",
     "GeneratedNest", "generate_source", "compile_nest",

@@ -1,6 +1,16 @@
-"""PARLOOPER error types."""
+"""PARLOOPER error types.
 
-__all__ = ["ParlooperError", "SpecError", "ExecutionError"]
+The serving-side errors (`ServeError` and children) carry a *snapshot*
+dict — simulator clock, step count, queue depths, pool stats — so a
+failure in a long seeded run can be diagnosed without re-running it.
+`ServeConfigError` doubles as a :class:`ValueError` so call sites that
+guard constructor inputs with ``except ValueError`` keep working.
+"""
+
+__all__ = [
+    "ParlooperError", "SpecError", "ExecutionError",
+    "ServeError", "ServeConfigError", "DeadlockError", "StepBudgetError",
+]
 
 
 class ParlooperError(Exception):
@@ -18,3 +28,36 @@ class SpecError(ParlooperError):
 
 class ExecutionError(ParlooperError):
     """Runtime failure while executing a generated loop nest."""
+
+
+class ServeError(ParlooperError):
+    """Failure inside the serving simulator (`repro.serve`).
+
+    ``snapshot`` is a plain dict of simulator state at failure time:
+    clock, step count, waiting/running depths, KV-pool stats, and the
+    terminal-request counters accumulated so far.
+    """
+
+    def __init__(self, message: str, snapshot: dict | None = None):
+        super().__init__(message)
+        self.snapshot = dict(snapshot) if snapshot else {}
+
+
+class ServeConfigError(SpecError, ValueError):
+    """Invalid serving configuration or request trace.
+
+    Part of the :class:`SpecError` family (a declaration problem, not a
+    runtime one) and a :class:`ValueError` for backward compatibility
+    with callers validating constructor inputs."""
+
+
+class DeadlockError(ServeError):
+    """No serving step is schedulable and no future event can unblock it.
+
+    The hardened simulator converts this into typed recovery (shed and
+    continue) when a watchdog is enabled; without one, the deadlock
+    surfaces here with the state snapshot attached."""
+
+
+class StepBudgetError(ServeError):
+    """The simulation exceeded its step budget (livelock guard)."""

@@ -1,0 +1,33 @@
+"""Deterministic fault injection and recovery for the serving stack.
+
+The paper's methodology captures *performance* with seeded, replayable
+analytical models; `repro.resilience` extends that discipline to
+*failure behaviour*.  Three pieces:
+
+* :mod:`~repro.resilience.faults` — :class:`FaultPlan`, a seeded fault
+  environment (stragglers, KV capacity loss, transient step failures,
+  client cancellations) shared by hardened and unhardened runs;
+* :mod:`~repro.resilience.policies` — :class:`ResilienceConfig`, the
+  recovery responses only the hardened
+  :class:`~repro.serve.server.ServeSimulator` gets (deadlines + timeout
+  cancellation, seeded exponential-backoff retry, watchdog
+  shed-and-continue, graceful degradation);
+* :mod:`~repro.resilience.chaos` — the chaos harness asserting
+  request conservation, pool leak freedom, and exception freedom over
+  seeded plan sweeps.
+
+The headline metric is **goodput** — tokens of requests finished within
+their deadline while the client was still there, per second — reported
+by :class:`~repro.serve.metrics.ServeSummary` next to raw throughput.
+"""
+
+from .chaos import ChaosOutcome, chaos_sweep, chaos_trial, check_invariants
+from .faults import FaultPlan, FaultWindow, hash01
+from .policies import (DegradePolicy, ResilienceConfig, RetryPolicy,
+                       stamp_deadlines)
+
+__all__ = [
+    "FaultPlan", "FaultWindow", "hash01",
+    "RetryPolicy", "DegradePolicy", "ResilienceConfig", "stamp_deadlines",
+    "ChaosOutcome", "check_invariants", "chaos_trial", "chaos_sweep",
+]

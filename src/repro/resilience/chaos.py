@@ -1,0 +1,100 @@
+"""Chaos harness: sweep seeded fault plans, assert recovery invariants.
+
+A chaos *trial* runs one simulator under one fault plan and checks the
+invariants every correct run must satisfy regardless of what the plan
+injected:
+
+* **request conservation** — every submitted request ends in exactly one
+  terminal state (finished / rejected / timed-out / cancelled / shed);
+* **KV-pool leak freedom** — after the run the pool holds zero blocks
+  and tracks zero requests;
+* **token causality** — emission timestamps are monotone and match the
+  generated count for finished requests;
+* **no unhandled exceptions** — a `ParlooperError` escaping the run is
+  itself a finding (the typed snapshot is kept for diagnosis).
+
+Because plans and policies are pure functions of their seeds, a red
+trial is reproduced by its `(traffic seed, fault seed)` pair alone —
+the chaos sweep is a property-based test with replayable counterexamples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ParlooperError, ServeError
+
+__all__ = ["ChaosOutcome", "check_invariants", "chaos_trial",
+           "chaos_sweep"]
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """One trial's verdict."""
+
+    seed: int
+    ok: bool
+    violations: tuple
+    #: summary of the completed run, None if it raised
+    summary: object = None
+    #: snapshot carried by a typed ServeError, if one escaped
+    snapshot: dict | None = None
+
+
+def check_invariants(sim, report) -> list:
+    """Invariant violations of a completed run (empty list == healthy)."""
+    errs = []
+    s = report.summary
+    if s.n_terminal != s.n_submitted:
+        errs.append(
+            f"request conservation violated: {s.n_terminal} terminal "
+            f"(finished {s.n_finished} + rejected {s.n_rejected} + "
+            f"timed-out {s.n_timed_out} + cancelled {s.n_cancelled} + "
+            f"shed {s.n_shed}) != {s.n_submitted} submitted")
+    stats = sim.pool.stats()
+    if stats.used_blocks != 0 or sim.pool.holders():
+        errs.append(
+            f"kv pool leak: {stats.used_blocks} blocks still held by "
+            f"rids {sim.pool.holders()[:8]} after the run drained")
+    for r in report.requests:
+        if r.token_times != sorted(r.token_times):
+            errs.append(f"request {r.rid}: token timestamps not monotone")
+        if r.finish_s is not None and r.token_times \
+                and r.finish_s != r.token_times[-1]:
+            errs.append(f"request {r.rid}: finish_s disagrees with its "
+                        f"last token timestamp")
+    return errs
+
+
+def chaos_trial(sim, requests, seed: int = 0) -> ChaosOutcome:
+    """Run *sim* over *requests* and judge it. Never raises for
+    simulator failures — a typed error becomes a violation with its
+    snapshot attached."""
+    try:
+        report = sim.run(requests)
+    except ServeError as exc:
+        return ChaosOutcome(seed=seed, ok=False,
+                            violations=(f"unhandled {type(exc).__name__}: "
+                                        f"{exc}",),
+                            snapshot=exc.snapshot)
+    except ParlooperError as exc:
+        return ChaosOutcome(seed=seed, ok=False,
+                            violations=(f"unhandled {type(exc).__name__}: "
+                                        f"{exc}",))
+    violations = check_invariants(sim, report)
+    return ChaosOutcome(seed=seed, ok=not violations,
+                        violations=tuple(violations),
+                        summary=report.summary)
+
+
+def chaos_sweep(make_trial, seeds) -> list:
+    """Run ``make_trial(seed) -> (sim, requests)`` for every seed.
+
+    Returns one :class:`ChaosOutcome` per seed; the caller asserts
+    ``all(o.ok for o in outcomes)`` and prints the violations of any
+    red seed (which alone reproduces the failure)."""
+    outcomes = []
+    for seed in seeds:
+        sim, requests = make_trial(seed)
+        outcomes.append(chaos_trial(sim, requests, seed=seed))
+    return outcomes

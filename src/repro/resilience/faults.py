@@ -1,0 +1,168 @@
+"""Deterministic, seeded fault models for the serving stack.
+
+The paper's methodology (§II-E) models *performance* analytically so a
+whole design space can be explored deterministically; this module
+extends the same philosophy to *failure behaviour*.  A
+:class:`FaultPlan` is a pure function of its seed: every decision —
+which steps straggle, when the KV pool loses capacity, which steps fail
+transiently, which clients hang up — is derived by counter-based
+hashing (`numpy`'s `SeedSequence` keyed on ``(seed, tag, index)``), so
+two runs of the same plan are bit-identical and a single integer
+reproduces any failure a chaos sweep finds.
+
+Fault kinds:
+
+* **stragglers** — time windows during which every serving step costs a
+  multiple of its modelled time (a slow core, a noisy neighbour);
+* **capacity loss** — time windows during which a fraction of the KV
+  pool's blocks are unavailable (memory pressure from a co-tenant);
+* **transient step failures** — a step whose work is lost (its wall
+  time is still consumed) with seeded per-step probability;
+* **client cancellations** — a request whose client gives up
+  ``patience`` seconds after arrival; work finished later is wasted.
+
+The plan is *environment*, not policy: the same plan is handed to both
+the unhardened and the hardened simulator, and only the latter carries
+recovery policies (`repro.resilience.policies`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["hash01", "FaultWindow", "FaultPlan"]
+
+# stream tags keeping the per-purpose hash streams independent
+_TAG_FAIL = 11
+_TAG_CANCEL_DRAW = 13
+_TAG_CANCEL_FRAC = 17
+_TAG_SAMPLE = 23
+
+
+def hash01(*key: int) -> float:
+    """Deterministic uniform [0, 1) draw keyed on integers.
+
+    Counter-based (no shared stream state), so the value depends only
+    on the key — the property that makes fault decisions replayable
+    regardless of simulation interleaving."""
+    return float(np.random.default_rng(key).random())
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One timed fault interval with an intensity value."""
+
+    start_s: float
+    end_s: float
+    #: straggler: step-cost multiplier (>= 1); capacity: lost fraction
+    value: float
+
+    def active(self, now_s: float) -> bool:
+        return self.start_s <= now_s < self.end_s
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A replayable fault scenario, fully determined by its fields."""
+
+    seed: int = 0
+    #: windows multiplying every step's cost (values >= 1)
+    straggler_windows: tuple = ()
+    #: windows removing a fraction of KV-pool blocks (values in [0, 1))
+    capacity_windows: tuple = ()
+    #: per-step probability the step's work is lost
+    p_step_fail: float = 0.0
+    #: per-request probability the client cancels before completion
+    p_cancel: float = 0.0
+    #: scale of how long a cancelling client waits after arrival
+    cancel_patience_s: float = 20.0
+
+    # -- environment queries (pure in seed + argument) ------------------
+    def multiplier(self, now_s: float) -> float:
+        """Step-cost multiplier at *now_s* (stacked stragglers compound)."""
+        m = 1.0
+        for w in self.straggler_windows:
+            if w.active(now_s):
+                m *= max(1.0, w.value)
+        return m
+
+    def lost_fraction(self, now_s: float) -> float:
+        """Fraction of pool blocks unavailable at *now_s*."""
+        frac = 0.0
+        for w in self.capacity_windows:
+            if w.active(now_s):
+                frac = max(frac, w.value)
+        return min(0.99, max(0.0, frac))
+
+    def step_fails(self, step_index: int) -> bool:
+        """Does serving step *step_index* lose its work?"""
+        if self.p_step_fail <= 0.0:
+            return False
+        return hash01(self.seed, _TAG_FAIL, step_index) < self.p_step_fail
+
+    def cancel_s(self, request) -> float | None:
+        """Absolute time the client of *request* hangs up, or None."""
+        if self.p_cancel <= 0.0:
+            return None
+        if hash01(self.seed, _TAG_CANCEL_DRAW, request.rid) >= self.p_cancel:
+            return None
+        frac = hash01(self.seed, _TAG_CANCEL_FRAC, request.rid)
+        return request.arrival_s + self.cancel_patience_s * (0.05
+                                                            + 0.95 * frac)
+
+    def next_boundary(self, now_s: float) -> float | None:
+        """Earliest finite window edge strictly after *now_s*.
+
+        A blocked simulator can advance its clock here: capacity lost
+        now may return at the window's end, so a pool-full stall is not
+        yet a deadlock."""
+        edges = [t for w in (*self.straggler_windows, *self.capacity_windows)
+                 for t in (w.start_s, w.end_s)
+                 if math.isfinite(t) and t > now_s]
+        return min(edges) if edges else None
+
+    def stamp(self, requests) -> None:
+        """Attach seeded cancellation times to a request trace in place
+        (idempotent; pre-set times are kept)."""
+        for req in requests:
+            if req.cancel_s is None:
+                req.cancel_s = self.cancel_s(req)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def sample(cls, seed: int, horizon_s: float,
+               n_stragglers: int = 2, straggler_mult: float = 4.0,
+               n_capacity_dips: int = 1, capacity_loss: float = 0.5,
+               p_step_fail: float = 0.05, p_cancel: float = 0.1,
+               cancel_patience_s: float | None = None) -> "FaultPlan":
+        """One seeded scenario over ``[0, horizon_s]``.
+
+        Window placement, duration, and intensity all come from the
+        ``(seed, _TAG_SAMPLE)`` stream, so the whole plan — not just its
+        per-step decisions — replays from the seed."""
+        rng = np.random.default_rng((seed, _TAG_SAMPLE))
+
+        def windows(n, max_value):
+            out = []
+            for _ in range(n):
+                start = float(rng.uniform(0.0, 0.8 * horizon_s))
+                dur = float(rng.uniform(0.05, 0.35)) * horizon_s
+                value = float(rng.uniform(0.25, 1.0)) * max_value
+                out.append(FaultWindow(start, start + dur, value))
+            return tuple(out)
+
+        return cls(
+            seed=seed,
+            straggler_windows=tuple(
+                FaultWindow(w.start_s, w.end_s, max(1.0, w.value))
+                for w in windows(n_stragglers, straggler_mult)),
+            capacity_windows=tuple(
+                FaultWindow(w.start_s, w.end_s, min(0.9, w.value))
+                for w in windows(n_capacity_dips, capacity_loss)),
+            p_step_fail=p_step_fail,
+            p_cancel=p_cancel,
+            cancel_patience_s=(cancel_patience_s if cancel_patience_s
+                               is not None else 0.25 * horizon_s))

@@ -1,0 +1,100 @@
+"""Recovery policies the hardened serving simulator applies.
+
+Policies are the counterpart of :mod:`repro.resilience.faults`: the
+fault plan is the *environment* (shared by hardened and unhardened
+runs), these are the *responses* only the hardened run gets.  All of
+them are deterministic — the retry jitter is counter-hashed from the
+policy seed and the request id, never from a shared RNG stream — so a
+hardened run under a seeded fault plan is bit-replayable end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .faults import hash01
+
+__all__ = ["RetryPolicy", "DegradePolicy", "ResilienceConfig",
+           "stamp_deadlines"]
+
+_TAG_RETRY = 29
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seeded exponential backoff for admission-rejected requests.
+
+    A request refused by the backlog cap re-enters the arrival stream
+    ``base_backoff_s * backoff_mult**(attempt-1)`` seconds later (plus
+    deterministic per-request jitter, so retry herds decorrelate), up
+    to ``max_attempts`` total admission attempts."""
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.5
+    backoff_mult: float = 2.0
+    #: jitter amplitude as a fraction of the deterministic delay
+    jitter: float = 0.5
+    seed: int = 0
+
+    def delay_s(self, rid: int, attempt: int) -> float:
+        base = self.base_backoff_s * self.backoff_mult ** (attempt - 1)
+        return base * (1.0 + self.jitter * hash01(self.seed, _TAG_RETRY,
+                                                  rid, attempt))
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """Graceful degradation under sustained overload.
+
+    The server enters degraded mode after ``enter_after_steps``
+    consecutive stressed iterations (queue deeper than ``queue_hi`` or
+    KV occupancy at/above ``occupancy_hi``) and leaves it after
+    ``exit_after_steps`` calm ones.  While degraded it trades per-request
+    quality and TPOT for availability:
+
+    * new admissions have ``max_new_tokens`` clamped;
+    * the batcher runs with a reduced per-step token budget;
+    * the waiting queue is capped — overflow is shed, lowest SLO class
+      (largest ``priority`` value) and newest first;
+    * the KV pool is proactively drained toward a target occupancy by
+      preempting the newest running request (reduced-KV mode: preempted
+      work re-prefills later, costing TPOT, but arrivals always find
+      headroom).
+    """
+
+    queue_hi: int = 32
+    occupancy_hi: float = 0.95
+    enter_after_steps: int = 3
+    exit_after_steps: int = 5
+    max_new_tokens_clamp: int | None = 32
+    token_budget: int | None = 256
+    shed_queue_cap: int | None = 64
+    kv_target_occupancy: float | None = 0.90
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Everything the hardened `ServeSimulator` does that the baseline
+    does not.  Any field can be disabled independently (None / False)."""
+
+    #: end-to-end deadline stamped on arrivals lacking one; the server
+    #: timeout-cancels work whose deadline has passed (None disables)
+    deadline_s: float | None = 60.0
+    retry: RetryPolicy | None = field(default_factory=RetryPolicy)
+    degrade: DegradePolicy | None = field(default_factory=DegradePolicy)
+    #: convert deadlocks into shed-and-continue instead of raising
+    watchdog: bool = True
+
+
+def stamp_deadlines(requests, deadline_s: float | None) -> None:
+    """Attach ``arrival + deadline_s`` deadlines in place (idempotent).
+
+    Kept separate from :class:`ResilienceConfig` so a benchmark can
+    stamp *identical* deadlines on the traces fed to the hardened and
+    unhardened simulators — goodput is then judged by the same SLO on
+    both sides, and only the recovery behaviour differs."""
+    if deadline_s is None:
+        return
+    for req in requests:
+        if req.deadline_s is None:
+            req.deadline_s = req.arrival_s + deadline_s

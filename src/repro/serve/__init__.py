@@ -9,6 +9,8 @@ priced by the same engine-backed cost model, so serving throughput and
 single-request latency live on one methodology.
 """
 
+from ..core.errors import (DeadlockError, ServeConfigError, ServeError,
+                           StepBudgetError)
 from .batcher import BATCHERS, ContinuousBatcher, StaticBatcher, StepPlan
 from .cost import ServeCostModel
 from .kv_pool import KvPoolStats, PagedKvPool
@@ -25,4 +27,5 @@ __all__ = [
     "ServeCostModel",
     "ServeMetrics", "ServeSummary", "percentile",
     "ServeReport", "ServeSimulator",
+    "ServeError", "ServeConfigError", "DeadlockError", "StepBudgetError",
 ]

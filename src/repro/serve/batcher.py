@@ -51,12 +51,16 @@ class ContinuousBatcher:
     #: a new request reserves only its next blocks, not its worst case
     reserve_full: bool = False
 
-    def plan(self, running, waiting) -> StepPlan:
+    def plan(self, running, waiting, token_budget: int | None = None
+             ) -> StepPlan:
+        """*token_budget* overrides the configured budget for this step
+        — degraded mode shrinks steps without rebuilding the batcher."""
         plan = StepPlan()
         for req in running:
             if req.decode_ready and len(plan.decode) < self.max_batch:
                 plan.decode.append(req)
-        budget = self.token_budget - len(plan.decode)
+        budget = (token_budget if token_budget is not None
+                  else self.token_budget) - len(plan.decode)
         slots = self.max_batch - len(plan.decode)
         for req in waiting:
             if budget <= 0 or slots <= 0:
@@ -80,7 +84,8 @@ class StaticBatcher:
     #: (prompt + max_new) up front
     reserve_full: bool = True
 
-    def plan(self, running, waiting) -> StepPlan:
+    def plan(self, running, waiting, token_budget: int | None = None
+             ) -> StepPlan:
         plan = StepPlan()
         if running:
             # batch in flight: decode only, no joins

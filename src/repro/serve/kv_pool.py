@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.errors import ServeConfigError
 from ..platform.machine import MachineModel
 from ..tpp.dtypes import DType
 from ..workloads.llm import LlmConfig
@@ -56,8 +57,14 @@ class PagedKvPool:
     def __init__(self, config: LlmConfig, machine: MachineModel,
                  dtype: DType = DType.BF16, block_tokens: int = 16,
                  mem_fraction: float = 0.9):
-        if block_tokens <= 0:
-            raise ValueError("block_tokens must be positive")
+        if not isinstance(block_tokens, int) or block_tokens <= 0:
+            raise ServeConfigError(
+                f"block_tokens must be a positive integer, got "
+                f"{block_tokens!r}")
+        if not 0.0 < mem_fraction <= 1.0:
+            raise ServeConfigError(
+                f"mem_fraction must be in (0, 1], got {mem_fraction!r} "
+                f"(it is the fraction of DRAM the server may use)")
         self.config = config
         self.dtype = dtype
         self.block_tokens = block_tokens
@@ -65,11 +72,15 @@ class PagedKvPool:
         usable = machine.dram_capacity_bytes * mem_fraction \
             - config.weight_bytes(dtype)
         if usable <= 0:
-            raise ValueError(
+            raise ServeConfigError(
                 f"{config.name} weights do not fit in {machine.name}'s "
                 f"{machine.dram_capacity_gbytes:.0f} GiB DRAM")
         self.total_blocks = int(usable //
                                 (block_tokens * self.bytes_per_token))
+        #: blocks transiently unavailable (fault-injected memory
+        #: pressure); never affects :meth:`fits`, which asks whether a
+        #: request could *ever* be served
+        self.lost_blocks = 0
         #: rid -> number of blocks held
         self._blocks: dict = {}
         #: rid -> cached token positions (≤ blocks * block_tokens)
@@ -78,7 +89,18 @@ class PagedKvPool:
     # -- capacity -------------------------------------------------------
     @property
     def free_blocks(self) -> int:
-        return self.total_blocks - sum(self._blocks.values())
+        """May go negative while fault-injected capacity loss overlaps
+        existing allocations: nothing new fits until releases catch up."""
+        return self.total_blocks - self.lost_blocks \
+            - sum(self._blocks.values())
+
+    def set_lost_fraction(self, fraction: float) -> None:
+        """Mark a fraction of the pool unavailable (memory pressure).
+
+        Allocations already made are never clawed back here — the
+        server decides what to preempt; the pool only refuses growth."""
+        self.lost_blocks = int(self.total_blocks
+                               * min(0.99, max(0.0, fraction)))
 
     def blocks_for(self, tokens: int) -> int:
         return -(-tokens // self.block_tokens)
@@ -90,7 +112,7 @@ class PagedKvPool:
     def can_grow(self, rid: int, new_total_tokens: int) -> bool:
         held = self._blocks.get(rid, 0)
         need = self.blocks_for(new_total_tokens) - held
-        return need <= self.free_blocks
+        return need <= 0 or need <= self.free_blocks
 
     # -- allocation -----------------------------------------------------
     def grow(self, rid: int, new_total_tokens: int) -> None:
@@ -110,7 +132,7 @@ class PagedKvPool:
 
     def can_reserve(self, rid: int, tokens: int) -> bool:
         need = self.blocks_for(tokens) - self._blocks.get(rid, 0)
-        return need <= self.free_blocks
+        return need <= 0 or need <= self.free_blocks
 
     def reserve(self, rid: int, tokens: int) -> None:
         """Hold blocks for *tokens* positions without marking them
@@ -124,6 +146,16 @@ class PagedKvPool:
                 f"blocks, {self.free_blocks} free")
         self._blocks[rid] = self._blocks.get(rid, 0) + max(0, need)
         self._tokens.setdefault(rid, 0)
+
+    def roll_back_tokens(self, rid: int, tokens: int) -> None:
+        """Reset *rid*'s cached-token count after a failed step.
+
+        The blocks stay held (they contain the lost work's garbage and
+        will be overwritten by the redo); only the token accounting —
+        which drives fragmentation metrics and the redo's grow targets —
+        moves back."""
+        if rid in self._blocks:
+            self._tokens[rid] = min(tokens, self._tokens.get(rid, 0))
 
     def release(self, rid: int) -> int:
         """Free all of *rid*'s blocks; returns the evicted token count

@@ -52,6 +52,25 @@ class ServeSummary:
     mean_batch: float
     peak_kv_occupancy: float
     mean_kv_fragmentation: float
+    # -- failure/recovery accounting (repro.resilience) ----------------
+    n_submitted: int = 0
+    n_timed_out: int = 0
+    n_cancelled: int = 0
+    n_shed: int = 0
+    n_retries: int = 0
+    n_degraded: int = 0
+    n_step_failures: int = 0
+    #: tokens of requests that finished within their deadline while the
+    #: client was still there — the numerator of goodput
+    goodput_tokens: int = 0
+    goodput_tokens_per_s: float = 0.0
+
+    @property
+    def n_terminal(self) -> int:
+        """Requests in a terminal state — the request-conservation
+        invariant demands this equals ``n_submitted``."""
+        return (self.n_finished + self.n_rejected + self.n_timed_out
+                + self.n_cancelled + self.n_shed)
 
     def slo_attainment(self, ttft_target_s: float,
                        tpot_target_s: float) -> bool:
@@ -73,12 +92,25 @@ class ServeMetrics:
     n_finished: int = 0
     n_rejected: int = 0
     n_preemptions: int = 0
+    n_submitted: int = 0
+    n_timed_out: int = 0
+    n_cancelled: int = 0
+    n_shed: int = 0
+    n_retries: int = 0
+    n_degraded: int = 0
+    n_step_failures: int = 0
+    goodput_tokens: int = 0
     #: (time_s, queue_depth, batch_size, kv_occupancy, kv_fragmentation)
     samples: list = field(default_factory=list)
 
     def on_finish(self, req: Request) -> None:
         self.n_finished += 1
         self.generated_tokens += req.generated
+        # goodput: only work the SLO and the client both still want
+        slo_ok = req.deadline_s is None or req.finish_s <= req.deadline_s
+        client_ok = req.cancel_s is None or req.finish_s <= req.cancel_s
+        if slo_ok and client_ok:
+            self.goodput_tokens += req.generated
         ttft = req.ttft_s()
         if ttft is not None:
             self.ttfts.append(ttft)
@@ -92,6 +124,24 @@ class ServeMetrics:
 
     def on_preempt(self, req: Request) -> None:
         self.n_preemptions += 1
+
+    def on_timeout(self, req: Request) -> None:
+        self.n_timed_out += 1
+
+    def on_cancel(self, req: Request) -> None:
+        self.n_cancelled += 1
+
+    def on_shed(self, req: Request) -> None:
+        self.n_shed += 1
+
+    def on_retry(self, req: Request) -> None:
+        self.n_retries += 1
+
+    def on_degrade(self, req: Request) -> None:
+        self.n_degraded += 1
+
+    def on_step_failure(self) -> None:
+        self.n_step_failures += 1
 
     def sample(self, now_s: float, queue_depth: int, batch_size: int,
                kv_occupancy: float, kv_fragmentation: float) -> None:
@@ -119,4 +169,14 @@ class ServeMetrics:
             peak_kv_occupancy=max((s[3] for s in self.samples),
                                   default=0.0),
             mean_kv_fragmentation=mean([s[4] for s in self.samples]),
+            n_submitted=self.n_submitted,
+            n_timed_out=self.n_timed_out,
+            n_cancelled=self.n_cancelled,
+            n_shed=self.n_shed,
+            n_retries=self.n_retries,
+            n_degraded=self.n_degraded,
+            n_step_failures=self.n_step_failures,
+            goodput_tokens=self.goodput_tokens,
+            goodput_tokens_per_s=(self.goodput_tokens / makespan_s
+                                  if makespan_s > 0 else 0.0),
         )

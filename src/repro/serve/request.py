@@ -26,6 +26,9 @@ class RequestState(enum.Enum):
     PREEMPTED = "preempted"  # KV evicted; must re-prefill when rescheduled
     FINISHED = "finished"
     REJECTED = "rejected"    # refused at admission (SLO protection)
+    TIMED_OUT = "timed-out"  # deadline passed; work cancelled
+    CANCELLED = "cancelled"  # client hung up (fault-injected)
+    SHED = "shed"            # dropped by overload/watchdog recovery
 
 
 @dataclass(eq=False)
@@ -54,6 +57,16 @@ class Request:
     preemptions: int = 0
     #: per-output-token emission timestamps (drives TPOT accounting)
     token_times: list = field(default_factory=list)
+    #: absolute end-to-end deadline; tokens finished later count zero
+    #: toward goodput, and the hardened server timeout-cancels at it
+    deadline_s: float | None = None
+    #: absolute time the client gives up (fault-injected); work finished
+    #: later is wasted even if the server never notices
+    cancel_s: float | None = None
+    #: admission retries consumed so far (exponential backoff)
+    attempts: int = 0
+    #: True once degraded mode clamped this request's output budget
+    degraded: bool = False
 
     @property
     def context_tokens(self) -> int:
@@ -68,6 +81,13 @@ class Request:
     @property
     def done(self) -> bool:
         return self.generated >= self.max_new_tokens
+
+    @property
+    def terminal(self) -> bool:
+        """No further server action will touch this request."""
+        return self.state in (RequestState.FINISHED, RequestState.REJECTED,
+                              RequestState.TIMED_OUT,
+                              RequestState.CANCELLED, RequestState.SHED)
 
     @property
     def prefill_target(self) -> int:

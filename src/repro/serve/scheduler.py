@@ -83,3 +83,15 @@ class Scheduler:
         else:  # newest
             key = lambda r: (-r.arrival_s, -r.rid)
         return sorted(candidates, key=key)[0]
+
+    # -- load shedding ---------------------------------------------------
+    def pick_shed(self, candidates) -> Request | None:
+        """Choose which request is dropped outright (overload or
+        watchdog recovery): lowest SLO class first (largest ``priority``
+        value), newest within a class — the mirror image of the
+        admission ordering, so the work most likely to meet its SLO is
+        the last to be sacrificed."""
+        if not candidates:
+            return None
+        return sorted(candidates,
+                      key=lambda r: (-r.priority, -r.arrival_s, -r.rid))[0]

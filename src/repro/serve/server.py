@@ -7,12 +7,27 @@ blocks (preempting victims when the pool is out), prices the step with
 that many seconds, and applies the step's effects to every request.
 There is no randomness anywhere in the loop — given a seeded traffic
 trace, two runs produce bit-identical metrics.
+
+Resilience (`repro.resilience`) threads through the same loop without
+breaking that contract.  A :class:`~repro.resilience.faults.FaultPlan`
+is the *environment*: straggler windows multiply step costs, capacity
+windows shrink the KV pool, seeded steps lose their work, seeded clients
+cancel.  A :class:`~repro.resilience.policies.ResilienceConfig` is the
+*response*, enabled only on the hardened simulator: deadline
+timeout-cancellation, exponential-backoff retry of admission-rejected
+work, watchdog shed-and-continue instead of deadlock, and graceful
+degradation (clamped outputs, reduced step budgets, queue shedding,
+proactive KV headroom) under sustained overload.  Both sides are pure
+functions of their seeds, so every failure and every recovery replays
+bit-identically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+from dataclasses import asdict, dataclass
 
+from ..core.errors import DeadlockError, ServeConfigError, StepBudgetError
 from ..platform.machine import MachineModel
 from ..tpp.dtypes import DType
 from ..workloads.llm import LlmConfig
@@ -41,14 +56,26 @@ class ServeReport:
 
 
 class ServeSimulator:
-    """Ties traffic, scheduler, batcher, KV pool and cost model together."""
+    """Ties traffic, scheduler, batcher, KV pool and cost model together.
+
+    ``faults`` injects a seeded fault environment; ``resilience``
+    enables the recovery policies.  With both left ``None`` the loop is
+    exactly the baseline simulator."""
 
     def __init__(self, config: LlmConfig, machine: MachineModel,
                  stack_name: str = "parlooper",
                  dtype: DType = DType.BF16,
                  batcher=None, scheduler: Scheduler | None = None,
                  block_tokens: int = 16, mem_fraction: float = 0.9,
-                 cost: ServeCostModel | None = None):
+                 cost: ServeCostModel | None = None,
+                 resilience=None, faults=None):
+        if not isinstance(block_tokens, int) or block_tokens <= 0:
+            raise ServeConfigError(
+                f"block_tokens must be a positive integer, got "
+                f"{block_tokens!r}")
+        if not 0.0 < mem_fraction <= 1.0:
+            raise ServeConfigError(
+                f"mem_fraction must be in (0, 1], got {mem_fraction!r}")
         self.config = config
         self.machine = machine
         self.stack_name = stack_name
@@ -62,31 +89,77 @@ class ServeSimulator:
         self.batcher = batcher if batcher is not None \
             else ContinuousBatcher()
         self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.resilience = resilience
+        self.faults = faults
 
     # -- the event loop -------------------------------------------------
     def run(self, requests, max_steps: int = 1_000_000) -> ServeReport:
-        reqs = sorted(requests, key=lambda r: (r.arrival_s, r.rid))
+        if max_steps <= 0:
+            raise ServeConfigError(
+                f"max_steps must be positive, got {max_steps!r}")
+        reqs = self._validate(requests)
+        res, fplan = self.resilience, self.faults
+        if res is not None and res.deadline_s is not None:
+            for r in reqs:
+                if r.deadline_s is None:
+                    r.deadline_s = r.arrival_s + res.deadline_s
+        if fplan is not None:
+            fplan.stamp(reqs)
         metrics = ServeMetrics()
+        metrics.n_submitted = len(reqs)
         waiting: list = []
         running: list = []
+        retry_heap: list = []          # (due_s, rid, request)
         now = 0.0
         i = 0
         steps = 0
-        while i < len(reqs) or waiting or running:
-            # admit everything that has arrived by the current clock
+        degraded = False
+        hot = cool = 0
+        while i < len(reqs) or waiting or running or retry_heap:
+            if fplan is not None:
+                self.pool.set_lost_fraction(fplan.lost_fraction(now))
+            # re-admit backed-off retries that have come due ...
+            while retry_heap and retry_heap[0][0] <= now:
+                _, _, req = heapq.heappop(retry_heap)
+                self._admit(req, waiting, retry_heap, metrics, now,
+                            degraded)
+            # ... and admit everything that has arrived by the clock
             while i < len(reqs) and reqs[i].arrival_s <= now:
                 req = reqs[i]
                 i += 1
-                if self.scheduler.admit(req, waiting, self.pool):
-                    waiting.append(req)
-                else:
-                    metrics.on_reject(req)
+                self._admit(req, waiting, retry_heap, metrics, now,
+                            degraded)
+            # hardened: cancel abandoned work, time out missed deadlines
+            if res is not None:
+                self._reap(waiting, running, metrics, now)
             if not waiting and not running:
-                now = reqs[i].arrival_s        # idle: jump to next arrival
+                nxt = self._next_event(reqs, i, retry_heap, now, fplan)
+                if nxt is None:
+                    break              # everything already terminal
+                now = max(now, nxt)
                 continue
 
+            # overload detection and graceful degradation
+            if res is not None and res.degrade is not None:
+                d = res.degrade
+                stressed = len(waiting) > d.queue_hi \
+                    or self.pool.occupancy >= d.occupancy_hi
+                if not degraded:
+                    hot = hot + 1 if stressed else 0
+                    if hot >= d.enter_after_steps:
+                        degraded, hot, cool = True, 0, 0
+                else:
+                    cool = 0 if stressed else cool + 1
+                    if cool >= d.exit_after_steps:
+                        degraded, hot, cool = False, 0, 0
+                if degraded:
+                    self._degrade_actions(d, waiting, running, metrics)
+
             waiting = self.scheduler.order_waiting(waiting)
-            plan = self.batcher.plan(running, waiting)
+            budget = res.degrade.token_budget \
+                if degraded and res is not None and res.degrade is not None \
+                else None
+            plan = self.batcher.plan(running, waiting, token_budget=budget)
 
             # secure a block for every decode (preempting if needed) ...
             decode = []
@@ -119,48 +192,78 @@ class ServeSimulator:
                     for req in holders:
                         self._preempt(req, running, waiting, metrics)
                     continue
-                if i < len(reqs):
-                    now = max(now, reqs[i].arrival_s)   # blocked on pool
+                nxt = self._next_event(reqs, i, retry_heap, now, fplan)
+                if nxt is not None and nxt > now:
+                    now = nxt                  # blocked until next event
                     continue
-                raise RuntimeError(
+                # true deadlock: watchdog sheds and continues, the
+                # baseline surfaces a typed error with the state attached
+                if res is not None and res.watchdog:
+                    victim = self.scheduler.pick_shed(waiting + running)
+                    if victim is not None:
+                        self._terminate(victim, RequestState.SHED,
+                                        running, waiting)
+                        metrics.on_shed(victim)
+                        continue
+                raise DeadlockError(
                     "serving deadlock: no step schedulable and no "
-                    "arrivals left")
+                    "future event can unblock it",
+                    snapshot=self._snapshot(now, steps, waiting, running,
+                                            metrics))
 
             # price the step and advance the clock
             chunks = [(c, req.cached) for req, c, _ in prefill]
             n_emit = len(decode) + sum(1 for req, _, completing in prefill
                                        if completing and req.generated == 0)
-            now += self.cost.step_seconds(chunks,
-                                          [r.cached for r in decode],
-                                          n_emit)
+            dt = self.cost.step_seconds(chunks,
+                                        [r.cached for r in decode],
+                                        n_emit)
+            failed = False
+            if fplan is not None:
+                dt *= fplan.multiplier(now)    # stragglers stretch steps
+                failed = fplan.step_fails(steps)
+            now += dt
 
-            # apply decode effects
-            for req in decode:
-                req.cached += 1
-                req.generated += 1
-                req.token_times.append(now)
-                if req.done:
-                    self._finish(req, now, running, metrics)
-            # apply prefill effects
-            for req, chunk, completing in prefill:
-                req.cached += chunk
-                req.state = RequestState.PREFILL
-                if completing:
-                    if req.generated == 0:     # prompt pass emits token 1
-                        req.generated = 1
-                        req.first_token_s = now
-                        req.token_times.append(now)
-                    req.state = RequestState.DECODE
-                    waiting.remove(req)
-                    running.append(req)
+            if failed:
+                # transient step failure: the wall time is spent but the
+                # work is lost — token accounting rolls back, the blocks
+                # stay held for the redo
+                metrics.on_step_failure()
+                for req in decode:
+                    self.pool.roll_back_tokens(req.rid, req.cached)
+                for req, _, _ in prefill:
+                    self.pool.roll_back_tokens(req.rid, req.cached)
+            else:
+                # apply decode effects
+                for req in decode:
+                    req.cached += 1
+                    req.generated += 1
+                    req.token_times.append(now)
                     if req.done:
                         self._finish(req, now, running, metrics)
+                # apply prefill effects
+                for req, chunk, completing in prefill:
+                    req.cached += chunk
+                    req.state = RequestState.PREFILL
+                    if completing:
+                        if req.generated == 0:  # prompt pass emits token 1
+                            req.generated = 1
+                            req.first_token_s = now
+                            req.token_times.append(now)
+                        req.state = RequestState.DECODE
+                        waiting.remove(req)
+                        running.append(req)
+                        if req.done:
+                            self._finish(req, now, running, metrics)
 
             metrics.sample(now, len(waiting), len(decode) + len(prefill),
                            self.pool.occupancy, self.pool.fragmentation)
             steps += 1
             if steps > max_steps:
-                raise RuntimeError(f"simulation exceeded {max_steps} steps")
+                raise StepBudgetError(
+                    f"simulation exceeded {max_steps} steps",
+                    snapshot=self._snapshot(now, steps, waiting, running,
+                                            metrics))
 
         return ServeReport(
             summary=metrics.summary(now),
@@ -171,6 +274,144 @@ class ServeSimulator:
             stack_name=self.stack_name,
             batcher_name=self.batcher.name,
             n_steps=steps)
+
+    # -- admission, reaping, recovery -----------------------------------
+    def _validate(self, requests) -> list:
+        reqs = list(requests)
+        if not reqs:
+            raise ServeConfigError(
+                "request trace is empty: a serving run needs at least "
+                "one request")
+        seen = set()
+        for r in reqs:
+            if r.arrival_s < 0:
+                raise ServeConfigError(
+                    f"request {r.rid} has negative arrival time "
+                    f"{r.arrival_s!r}")
+            if r.prompt_tokens <= 0:
+                raise ServeConfigError(
+                    f"request {r.rid} has non-positive prompt_tokens "
+                    f"{r.prompt_tokens!r}")
+            if r.max_new_tokens <= 0:
+                raise ServeConfigError(
+                    f"request {r.rid} has non-positive max_new_tokens "
+                    f"{r.max_new_tokens!r}")
+            if r.rid in seen:
+                raise ServeConfigError(
+                    f"duplicate request id {r.rid}: rids must be unique "
+                    f"within one trace")
+            seen.add(r.rid)
+        return sorted(reqs, key=lambda r: (r.arrival_s, r.rid))
+
+    def _admit(self, req, waiting, retry_heap, metrics, now,
+               degraded) -> None:
+        res = self.resilience
+        if res is not None:
+            # a retry can come due after its client left or its SLO died
+            if req.cancel_s is not None and now >= req.cancel_s:
+                req.state = RequestState.CANCELLED
+                metrics.on_cancel(req)
+                return
+            if req.deadline_s is not None and now >= req.deadline_s:
+                req.state = RequestState.TIMED_OUT
+                metrics.on_timeout(req)
+                return
+            d = res.degrade
+            if degraded and d is not None \
+                    and d.max_new_tokens_clamp is not None \
+                    and req.max_new_tokens > d.max_new_tokens_clamp:
+                req.max_new_tokens = max(d.max_new_tokens_clamp, 1)
+                if not req.degraded:
+                    req.degraded = True
+                    metrics.on_degrade(req)
+        if not self.pool.fits(req.total_tokens):
+            req.state = RequestState.REJECTED   # can never be served
+            metrics.on_reject(req)
+            return
+        if self.scheduler.admit(req, waiting, self.pool):
+            req.state = RequestState.QUEUED
+            waiting.append(req)
+            return
+        retry = res.retry if res is not None else None
+        if retry is not None and req.attempts + 1 < retry.max_attempts:
+            req.attempts += 1
+            req.state = RequestState.QUEUED
+            due = now + retry.delay_s(req.rid, req.attempts)
+            heapq.heappush(retry_heap, (due, req.rid, req))
+            metrics.on_retry(req)
+        else:
+            req.state = RequestState.REJECTED
+            metrics.on_reject(req)
+
+    def _reap(self, waiting, running, metrics, now) -> None:
+        """Timeout-cancellation: drop work whose client left or whose
+        deadline passed, freeing its KV blocks for work still viable."""
+        for req in list(running) + list(waiting):
+            if req.cancel_s is not None and now >= req.cancel_s:
+                self._terminate(req, RequestState.CANCELLED, running,
+                                waiting)
+                metrics.on_cancel(req)
+            elif req.deadline_s is not None and now >= req.deadline_s:
+                self._terminate(req, RequestState.TIMED_OUT, running,
+                                waiting)
+                metrics.on_timeout(req)
+
+    def _degrade_actions(self, d, waiting, running, metrics) -> None:
+        # cap the queue: overflow is shed lowest-SLO-class, newest first
+        while d.shed_queue_cap is not None \
+                and len(waiting) > d.shed_queue_cap:
+            victim = self.scheduler.pick_shed(waiting)
+            self._terminate(victim, RequestState.SHED, running, waiting)
+            metrics.on_shed(victim)
+        # reduced-KV mode: drain toward target occupancy (at most one
+        # preemption per iteration, so the batch cannot collapse)
+        if d.kv_target_occupancy is not None and len(running) > 1 \
+                and self.pool.occupancy > d.kv_target_occupancy:
+            victim = self.scheduler.pick_victim(running)
+            if victim is not None:
+                self._preempt(victim, running, waiting, metrics)
+
+    def _next_event(self, reqs, i, retry_heap, now, fplan) -> float | None:
+        """Earliest future time anything can change: an arrival, a retry
+        coming due, or a fault window opening/closing."""
+        times = []
+        if i < len(reqs):
+            times.append(reqs[i].arrival_s)
+        if retry_heap:
+            times.append(retry_heap[0][0])
+        if fplan is not None:
+            b = fplan.next_boundary(now)
+            if b is not None:
+                times.append(b)
+        future = [t for t in times if t > now]
+        return min(future) if future else None
+
+    def _terminate(self, req, state, running, waiting) -> None:
+        self.pool.release(req.rid)
+        if req in running:
+            running.remove(req)
+        if req in waiting:
+            waiting.remove(req)
+        req.state = state
+
+    def _snapshot(self, now, steps, waiting, running, metrics) -> dict:
+        """Diagnosable state at failure time (attached to ServeError)."""
+        return {
+            "now_s": now,
+            "steps": steps,
+            "n_waiting": len(waiting),
+            "n_running": len(running),
+            "waiting_rids": [r.rid for r in waiting][:16],
+            "running_rids": [r.rid for r in running][:16],
+            "pool": {**asdict(self.pool.stats()),
+                     "free_blocks": self.pool.free_blocks,
+                     "lost_blocks": self.pool.lost_blocks},
+            "n_finished": metrics.n_finished,
+            "n_rejected": metrics.n_rejected,
+            "n_timed_out": metrics.n_timed_out,
+            "n_cancelled": metrics.n_cancelled,
+            "n_shed": metrics.n_shed,
+        }
 
     # -- helpers --------------------------------------------------------
     def _ensure_blocks(self, req, new_total, running, waiting, metrics,

@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from ..core.errors import SpecError
+from ..core.errors import ExecutionError, SpecError
 from ..platform.machine import MachineModel
 from ..simulator.engine import simulate
 from ..simulator.perfmodel import predict
@@ -81,14 +81,16 @@ def engine_evaluator(base_specs, sim_body, machine: MachineModel,
 
 def search(candidates, evaluator, top_k: int | None = None) -> SearchResult:
     """Evaluate candidates, skipping ones invalid for these loop bounds
-    (imperfect blocking chains etc.), and rank by score."""
+    (imperfect blocking chains etc.) or whose evaluation fails at
+    runtime, and rank by score.  A poisoned candidate is recorded as an
+    invalid outcome — it never aborts the rest of the search."""
     t0 = time.perf_counter()
     outcomes = []
     skipped = 0
     for cand in candidates:
         try:
             outcomes.append(evaluator(cand))
-        except SpecError as exc:
+        except (SpecError, ExecutionError) as exc:
             skipped += 1
             outcomes.append(TuneOutcome(cand, float("-inf"), float("inf"),
                                         valid=False, error=str(exc)))

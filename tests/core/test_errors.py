@@ -1,0 +1,41 @@
+"""The typed error taxonomy: hierarchy and snapshot plumbing."""
+
+import pytest
+
+from repro.core.errors import (DeadlockError, ExecutionError, ParlooperError,
+                               ServeConfigError, ServeError, SpecError,
+                               StepBudgetError)
+
+
+class TestHierarchy:
+    def test_serve_errors_are_parlooper_errors(self):
+        for cls in (ServeError, DeadlockError, StepBudgetError):
+            assert issubclass(cls, ParlooperError)
+
+    def test_config_error_bridges_families(self):
+        # SpecError for the repo's taxonomy, ValueError for stdlib callers
+        assert issubclass(ServeConfigError, SpecError)
+        assert issubclass(ServeConfigError, ValueError)
+
+    def test_deadlock_and_budget_are_serve_errors(self):
+        assert issubclass(DeadlockError, ServeError)
+        assert issubclass(StepBudgetError, ServeError)
+
+    def test_execution_error_is_not_a_serve_error(self):
+        assert not issubclass(ExecutionError, ServeError)
+
+
+class TestSnapshots:
+    def test_snapshot_defaults_empty(self):
+        assert ServeError("boom").snapshot == {}
+
+    def test_snapshot_is_copied(self):
+        state = {"steps": 3}
+        err = DeadlockError("stuck", snapshot=state)
+        state["steps"] = 99
+        assert err.snapshot == {"steps": 3}
+
+    def test_snapshot_survives_raise(self):
+        with pytest.raises(ServeError) as exc_info:
+            raise StepBudgetError("over budget", snapshot={"steps": 10})
+        assert exc_info.value.snapshot["steps"] == 10

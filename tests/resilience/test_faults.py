@@ -1,0 +1,117 @@
+"""Tests for the seeded fault models: every decision must be a pure,
+replayable function of the seed."""
+
+import math
+
+from repro.resilience import FaultPlan, FaultWindow, hash01
+from repro.serve import Request
+
+
+def req(rid, arrival=0.0):
+    return Request(rid=rid, arrival_s=arrival, prompt_tokens=32,
+                   max_new_tokens=8)
+
+
+class TestHash:
+    def test_deterministic(self):
+        assert hash01(7, 11, 3) == hash01(7, 11, 3)
+
+    def test_key_sensitivity(self):
+        draws = {hash01(7, 11, k) for k in range(64)}
+        assert len(draws) == 64
+
+    def test_range(self):
+        assert all(0.0 <= hash01(1, 2, k) < 1.0 for k in range(100))
+
+
+class TestWindows:
+    def test_multiplier_compounds_overlaps(self):
+        plan = FaultPlan(straggler_windows=(
+            FaultWindow(0.0, 10.0, 2.0), FaultWindow(5.0, 15.0, 3.0)))
+        assert plan.multiplier(1.0) == 2.0
+        assert plan.multiplier(7.0) == 6.0
+        assert plan.multiplier(12.0) == 3.0
+        assert plan.multiplier(20.0) == 1.0
+
+    def test_lost_fraction_takes_worst_dip(self):
+        plan = FaultPlan(capacity_windows=(
+            FaultWindow(0.0, 10.0, 0.3), FaultWindow(5.0, 8.0, 0.6)))
+        assert plan.lost_fraction(6.0) == 0.6
+        assert plan.lost_fraction(9.0) == 0.3
+        assert plan.lost_fraction(11.0) == 0.0
+
+    def test_window_edges_half_open(self):
+        w = FaultWindow(1.0, 2.0, 4.0)
+        assert w.active(1.0) and not w.active(2.0)
+
+    def test_next_boundary_skips_infinite_edges(self):
+        plan = FaultPlan(capacity_windows=(
+            FaultWindow(0.0, math.inf, 0.5), FaultWindow(3.0, 4.0, 0.2)))
+        assert plan.next_boundary(0.0) == 3.0
+        assert plan.next_boundary(3.5) == 4.0
+        assert plan.next_boundary(4.0) is None
+
+
+class TestStepFailures:
+    def test_replayable_sequence(self):
+        a = FaultPlan(seed=5, p_step_fail=0.3)
+        b = FaultPlan(seed=5, p_step_fail=0.3)
+        assert [a.step_fails(i) for i in range(200)] \
+            == [b.step_fails(i) for i in range(200)]
+
+    def test_seed_changes_sequence(self):
+        a = FaultPlan(seed=5, p_step_fail=0.3)
+        b = FaultPlan(seed=6, p_step_fail=0.3)
+        assert [a.step_fails(i) for i in range(200)] \
+            != [b.step_fails(i) for i in range(200)]
+
+    def test_rate_roughly_matches_probability(self):
+        plan = FaultPlan(seed=1, p_step_fail=0.25)
+        rate = sum(plan.step_fails(i) for i in range(2000)) / 2000
+        assert 0.18 < rate < 0.32
+
+    def test_zero_probability_never_fails(self):
+        plan = FaultPlan(seed=1)
+        assert not any(plan.step_fails(i) for i in range(100))
+
+
+class TestCancellations:
+    def test_deterministic_per_request(self):
+        a = FaultPlan(seed=9, p_cancel=0.5)
+        b = FaultPlan(seed=9, p_cancel=0.5)
+        for i in range(50):
+            assert a.cancel_s(req(i)) == b.cancel_s(req(i))
+
+    def test_cancel_after_arrival(self):
+        plan = FaultPlan(seed=9, p_cancel=1.0, cancel_patience_s=10.0)
+        for i in range(20):
+            c = plan.cancel_s(req(i, arrival=3.0))
+            assert c is not None and 3.0 < c <= 13.0
+
+    def test_stamp_is_idempotent_and_preserving(self):
+        plan = FaultPlan(seed=9, p_cancel=1.0)
+        r = req(0)
+        r.cancel_s = 42.0
+        plan.stamp([r])
+        assert r.cancel_s == 42.0
+        r2 = req(1)
+        plan.stamp([r2])
+        first = r2.cancel_s
+        plan.stamp([r2])
+        assert r2.cancel_s == first
+
+
+class TestSampling:
+    def test_same_seed_same_plan(self):
+        assert FaultPlan.sample(3, 60.0) == FaultPlan.sample(3, 60.0)
+
+    def test_different_seeds_differ(self):
+        assert FaultPlan.sample(3, 60.0) != FaultPlan.sample(4, 60.0)
+
+    def test_sampled_plan_is_well_formed(self):
+        for seed in range(8):
+            plan = FaultPlan.sample(seed, 60.0)
+            for w in plan.straggler_windows:
+                assert w.value >= 1.0 and w.end_s > w.start_s >= 0.0
+            for w in plan.capacity_windows:
+                assert 0.0 <= w.value <= 0.9 and w.end_s > w.start_s >= 0.0

@@ -1,0 +1,69 @@
+"""Tests for the recovery policies (retry backoff, degradation knobs,
+deadline stamping)."""
+
+from repro.resilience import (DegradePolicy, ResilienceConfig, RetryPolicy,
+                              stamp_deadlines)
+from repro.serve import Request
+
+
+def req(rid, arrival=0.0):
+    return Request(rid=rid, arrival_s=arrival, prompt_tokens=32,
+                   max_new_tokens=8)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        p = RetryPolicy(base_backoff_s=1.0, backoff_mult=2.0, jitter=0.0)
+        assert p.delay_s(0, 1) == 1.0
+        assert p.delay_s(0, 2) == 2.0
+        assert p.delay_s(0, 3) == 4.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        p = RetryPolicy(base_backoff_s=1.0, backoff_mult=2.0, jitter=0.5,
+                        seed=4)
+        assert p.delay_s(7, 1) == p.delay_s(7, 1)
+        assert 1.0 <= p.delay_s(7, 1) < 1.5
+
+    def test_jitter_decorrelates_requests(self):
+        p = RetryPolicy(jitter=0.5, seed=4)
+        delays = {p.delay_s(rid, 1) for rid in range(32)}
+        assert len(delays) == 32
+
+
+class TestResilienceConfig:
+    def test_defaults_enable_everything(self):
+        cfg = ResilienceConfig()
+        assert cfg.deadline_s is not None
+        assert cfg.retry is not None
+        assert cfg.degrade is not None
+        assert cfg.watchdog
+
+    def test_fields_disable_independently(self):
+        cfg = ResilienceConfig(deadline_s=None, retry=None, degrade=None,
+                               watchdog=False)
+        assert cfg.deadline_s is None and cfg.retry is None
+        assert cfg.degrade is None and not cfg.watchdog
+
+    def test_degrade_defaults_sane(self):
+        d = DegradePolicy()
+        assert d.enter_after_steps >= 1 and d.exit_after_steps >= 1
+        assert 0.0 < d.occupancy_hi <= 1.0
+
+
+class TestStampDeadlines:
+    def test_stamps_relative_to_arrival(self):
+        reqs = [req(0, arrival=1.0), req(1, arrival=2.5)]
+        stamp_deadlines(reqs, 10.0)
+        assert reqs[0].deadline_s == 11.0
+        assert reqs[1].deadline_s == 12.5
+
+    def test_none_disables(self):
+        r = req(0)
+        stamp_deadlines([r], None)
+        assert r.deadline_s is None
+
+    def test_existing_deadline_kept(self):
+        r = req(0)
+        r.deadline_s = 3.0
+        stamp_deadlines([r], 10.0)
+        assert r.deadline_s == 3.0

@@ -1,0 +1,70 @@
+"""Conservation and leak-freedom invariants of the fault-free simulator.
+
+These properties must hold on the plain (pre-fault) serving stack for
+any traffic seed: every submitted request reaches exactly one terminal
+state and the KV pool drains to zero.  The chaos harness checks the
+same invariants under fault injection; here they pin the baseline.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.platform import SPR
+from repro.resilience import chaos_trial
+from repro.serve import (Request, Scheduler, ServeCostModel, ServeSimulator,
+                         SloPolicy, TrafficGenerator)
+from repro.tpp.dtypes import DType
+from repro.workloads import LlmConfig
+
+TINY = LlmConfig("tiny", layers=4, hidden=256, heads=8, intermediate=1024,
+                 vocab=1024)
+TRAFFIC_SEEDS = (3, 11, 42, 97, 123, 2024)
+
+
+def tiny_machine(n_blocks, block_tokens=16):
+    bytes_needed = TINY.weight_bytes(DType.BF16) \
+        + n_blocks * block_tokens * TINY.kv_bytes_per_token(DType.BF16)
+    return replace(SPR, dram_capacity_gbytes=bytes_needed / (1 << 30))
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return ServeCostModel.for_stack(TINY, SPR)
+
+
+def sim(cost, n_blocks=256, **kw):
+    return ServeSimulator(TINY, tiny_machine(n_blocks), cost=cost,
+                          mem_fraction=1.0, **kw)
+
+
+def traffic(seed, n=30):
+    return TrafficGenerator(rate_rps=200.0, seed=seed, min_prompt=16,
+                            max_prompt=64, mean_prompt=32,
+                            mean_new_tokens=8,
+                            max_new_tokens=16).generate(n)
+
+
+@pytest.mark.parametrize("seed", TRAFFIC_SEEDS)
+def test_open_loop_traffic_conserves_and_drains(cost, seed):
+    outcome = chaos_trial(sim(cost), traffic(seed), seed=seed)
+    assert outcome.ok, outcome.violations
+    s = outcome.summary
+    assert s.n_finished + s.n_rejected == s.n_submitted == 30
+
+
+@pytest.mark.parametrize("seed", TRAFFIC_SEEDS[:3])
+def test_preemption_pressure_conserves_and_drains(cost, seed):
+    # a pool small enough to force preemptions, still no faults
+    outcome = chaos_trial(sim(cost, n_blocks=32), traffic(seed, n=16),
+                          seed=seed)
+    assert outcome.ok, outcome.violations
+
+
+def test_admission_control_counts_rejections_as_terminal(cost):
+    reqs = [Request(rid=i, arrival_s=0.0, prompt_tokens=64,
+                    max_new_tokens=16) for i in range(16)]
+    scheduler = Scheduler(SloPolicy(admission_backlog_tokens=256))
+    outcome = chaos_trial(sim(cost, scheduler=scheduler), reqs)
+    assert outcome.ok, outcome.violations
+    assert outcome.summary.n_rejected > 0

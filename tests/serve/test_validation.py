@@ -1,0 +1,105 @@
+"""Constructor and trace validation for the serving stack.
+
+Misconfiguration must fail fast with a :class:`ServeConfigError` — a
+member of the SpecError family that still subclasses ``ValueError`` so
+pre-existing callers keep working.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.errors import ServeConfigError, SpecError
+from repro.platform import SPR
+from repro.serve import Request, ServeCostModel, ServeSimulator
+from repro.serve.kv_pool import PagedKvPool
+from repro.tpp.dtypes import DType
+from repro.workloads import LlmConfig
+
+TINY = LlmConfig("tiny", layers=4, hidden=256, heads=8, intermediate=1024,
+                 vocab=1024)
+
+
+def tiny_machine(n_blocks, block_tokens=16):
+    bytes_needed = TINY.weight_bytes(DType.BF16) \
+        + n_blocks * block_tokens * TINY.kv_bytes_per_token(DType.BF16)
+    return replace(SPR, dram_capacity_gbytes=bytes_needed / (1 << 30))
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return ServeCostModel.for_stack(TINY, SPR)
+
+
+def req(rid=0, arrival=0.0, prompt=32, new=8):
+    return Request(rid=rid, arrival_s=arrival, prompt_tokens=prompt,
+                   max_new_tokens=new)
+
+
+class TestPoolValidation:
+    @pytest.mark.parametrize("bad", [0, -4, 1.5, "16"])
+    def test_block_tokens_must_be_positive_int(self, bad):
+        with pytest.raises(ServeConfigError, match="block_tokens"):
+            PagedKvPool(TINY, SPR, block_tokens=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_mem_fraction_must_be_in_unit_interval(self, bad):
+        with pytest.raises(ServeConfigError, match="mem_fraction"):
+            PagedKvPool(TINY, SPR, mem_fraction=bad)
+
+    def test_weights_must_fit(self):
+        starved = replace(SPR, dram_capacity_gbytes=1e-6)
+        with pytest.raises(ServeConfigError, match="do not fit"):
+            PagedKvPool(TINY, starved)
+
+    def test_error_family_membership(self):
+        with pytest.raises(SpecError):
+            PagedKvPool(TINY, SPR, mem_fraction=0.0)
+        with pytest.raises(ValueError):          # backward compat
+            PagedKvPool(TINY, SPR, mem_fraction=0.0)
+
+
+class TestSimulatorValidation:
+    @pytest.mark.parametrize("kw", [{"block_tokens": 0},
+                                    {"block_tokens": -1},
+                                    {"mem_fraction": 0.0},
+                                    {"mem_fraction": 2.0}])
+    def test_constructor_rejects_bad_knobs(self, cost, kw):
+        with pytest.raises(ServeConfigError):
+            ServeSimulator(TINY, tiny_machine(64), cost=cost, **kw)
+
+    def test_empty_trace(self, cost):
+        s = ServeSimulator(TINY, tiny_machine(64), cost=cost,
+                           mem_fraction=1.0)
+        with pytest.raises(ServeConfigError, match="empty"):
+            s.run([])
+
+    @pytest.mark.parametrize("bad, pattern", [
+        (dict(arrival=-1.0), "negative arrival"),
+        (dict(prompt=0), "prompt_tokens"),
+        (dict(new=0), "max_new_tokens"),
+        (dict(new=-3), "max_new_tokens"),
+    ])
+    def test_malformed_requests(self, cost, bad, pattern):
+        s = ServeSimulator(TINY, tiny_machine(64), cost=cost,
+                           mem_fraction=1.0)
+        with pytest.raises(ServeConfigError, match=pattern):
+            s.run([req(**bad)])
+
+    def test_duplicate_rids(self, cost):
+        s = ServeSimulator(TINY, tiny_machine(64), cost=cost,
+                           mem_fraction=1.0)
+        with pytest.raises(ServeConfigError, match="duplicate"):
+            s.run([req(rid=7), req(rid=7, arrival=1.0)])
+
+    def test_non_positive_step_budget(self, cost):
+        s = ServeSimulator(TINY, tiny_machine(64), cost=cost,
+                           mem_fraction=1.0)
+        with pytest.raises(ServeConfigError, match="max_steps"):
+            s.run([req()], max_steps=0)
+
+    def test_valid_trace_unharmed_by_validation(self, cost):
+        s = ServeSimulator(TINY, tiny_machine(64), cost=cost,
+                           mem_fraction=1.0)
+        rep = s.run([req(rid=1, arrival=1.0), req(rid=0, arrival=0.0)])
+        assert rep.summary.n_finished == 2

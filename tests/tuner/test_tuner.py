@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import LoopSpecs, SpecError, ThreadedLoop
+from repro.core import ExecutionError, LoopSpecs, SpecError, ThreadedLoop
 from repro.platform import SPR, ZEN4
 from repro.simulator import brgemm_event
 from repro.tpp.dtypes import DType
@@ -177,6 +177,28 @@ class TestSearch:
         assert res.skipped == 1
         with pytest.raises(ValueError):
             res.best
+
+    def test_poisoned_candidate_does_not_abort_the_search(self):
+        # an evaluator that blows up at runtime on one candidate must be
+        # recorded as skipped, and the rest of the sweep must survive
+        cons = TuningConstraints({"a": 1, "b": 2, "c": 2},
+                                 frozenset({"b"}), max_candidates=8)
+        cands = list(generate_candidates(SPECS, cons))
+        poisoned = cands[3]
+        inner = perfmodel_evaluator(SPECS, _sim_body(ZEN4, DType.F32),
+                                    ZEN4, num_threads=4)
+
+        def evaluator(cand):
+            if cand is poisoned:
+                raise ExecutionError("simulated engine crash")
+            return inner(cand)
+
+        res = search(cands, evaluator)
+        assert res.skipped == 1
+        assert res.evaluated == len(cands) - 1
+        assert res.best.valid
+        assert poisoned.label() not in [o.candidate.label()
+                                        for o in res.outcomes]
 
     def test_top_k(self):
         cons = TuningConstraints({"a": 1, "b": 2, "c": 2},

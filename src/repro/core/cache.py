@@ -5,14 +5,25 @@ loops: if we request a loop nest with the same loop_spec_string, we merely
 return the function pointer of the already compiled and cached loop-nest"
 (§II-B).  The key also includes the loop declarations, since the same
 string over different bounds/steps yields different baked-in constants.
+
+Opt-in persistence: construct with ``persist_path=`` (or call
+:meth:`NestCache.save`) to keep the *generated source* of every compiled
+nest in a JSON file — ``{repr(cache_key): source}`` — and skip the
+codegen step on the next run (the ``exec`` still happens once per
+process; it is the source generation that dominates compile time).  The
+file is trusted input: loading it executes the stored source, so only
+point it at caches your own runs wrote.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 import threading
 import time
 
-from .codegen import GeneratedNest, compile_nest
+from .codegen import GeneratedNest, compile_nest, compile_source
 from .plan import LoopNestPlan
 
 __all__ = ["NestCache", "global_nest_cache"]
@@ -21,39 +32,82 @@ __all__ = ["NestCache", "global_nest_cache"]
 class NestCache:
     """Thread-safe (spec-string, specs) -> compiled-nest cache."""
 
-    def __init__(self):
+    def __init__(self, persist_path: str | None = None):
         self._lock = threading.Lock()
         self._cache: dict[tuple, GeneratedNest] = {}
+        self._sources: dict[str, str] = {}   # repr(key) -> generated source
+        self.persist_path = persist_path
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
         self.total_compile_seconds = 0.0
+        if persist_path is not None and os.path.exists(persist_path):
+            self.load(persist_path)
 
     def get(self, plan: LoopNestPlan) -> GeneratedNest:
         key = plan.cache_key()
+        skey = repr(key)
         with self._lock:
             nest = self._cache.get(key)
             if nest is not None:
                 self.hits += 1
                 return nest
+            source = self._sources.get(skey)
         # compile outside the lock; a racing duplicate compile is harmless
         t0 = time.perf_counter()
-        nest = compile_nest(plan)
+        if source is not None:
+            nest = compile_source(source, plan)
+        else:
+            nest = compile_nest(plan)
         dt = time.perf_counter() - t0
         with self._lock:
             existing = self._cache.get(key)
             if existing is not None:
                 self.hits += 1
                 return existing
-            self.misses += 1
-            self.total_compile_seconds += dt
+            if source is not None:
+                self.disk_hits += 1
+            else:
+                self.misses += 1
+                self.total_compile_seconds += dt
             self._cache[key] = nest
+            self._sources[skey] = nest.source
             return nest
+
+    def save(self, path: str | None = None) -> str:
+        """Atomically persist all known nest sources; returns the path."""
+        path = path or self.persist_path
+        if path is None:
+            raise ValueError("NestCache.save needs a path")
+        with self._lock:
+            payload = json.dumps(self._sources, indent=0, sort_keys=True)
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def load(self, path: str) -> int:
+        """Merge persisted sources from *path*; returns how many."""
+        with open(path) as fh:
+            loaded = json.load(fh)
+        with self._lock:
+            self._sources.update(loaded)
+        return len(loaded)
 
     def clear(self) -> None:
         with self._lock:
             self._cache.clear()
+            self._sources.clear()
             self.hits = 0
             self.misses = 0
+            self.disk_hits = 0
             self.total_compile_seconds = 0.0
 
     def __len__(self) -> int:

@@ -23,7 +23,8 @@ from dataclasses import dataclass
 from .errors import SpecError
 from .plan import LoopLevel, LoopNestPlan
 
-__all__ = ["GeneratedNest", "generate_source", "compile_nest"]
+__all__ = ["GeneratedNest", "generate_source", "compile_nest",
+           "compile_source"]
 
 _INDENT = "    "
 
@@ -223,7 +224,13 @@ def generate_source(plan: LoopNestPlan, func_name: str = "parlooper_nest"
 def compile_nest(plan: LoopNestPlan, func_name: str = "parlooper_nest"
                  ) -> GeneratedNest:
     """Compile the generated source into a callable (the JIT step)."""
-    source = generate_source(plan, func_name)
+    return compile_source(generate_source(plan, func_name), plan, func_name)
+
+
+def compile_source(source: str, plan: LoopNestPlan,
+                   func_name: str = "parlooper_nest") -> GeneratedNest:
+    """Compile already-generated nest source (e.g. from a persisted
+    :class:`~repro.core.cache.NestCache`) into a callable."""
     namespace: dict = {}
     try:
         code = compile(source, f"<parlooper:{plan.spec_string}>", "exec")

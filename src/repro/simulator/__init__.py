@@ -4,8 +4,10 @@
 from .cost import bandwidth_event, brgemm_event, eltwise_event, spmm_event
 from .engine import SimResult, simulate, simulate_flat, simulate_traces
 from .lru import CacheHierarchy, LRUCache
+from .memo import TraceCache, global_trace_cache
 from .perfmodel import PerfPrediction, predict, predict_traces
 from .report import format_result, thread_balance
+from .reuse import CompiledTrace, ReuseStats, compile_trace, hit_levels
 from .trace import (Access, BodyEvent, ThreadTrace, trace_flat,
                     trace_threaded_loop)
 
@@ -13,6 +15,8 @@ __all__ = [
     "Access", "BodyEvent", "ThreadTrace", "trace_flat",
     "trace_threaded_loop",
     "LRUCache", "CacheHierarchy",
+    "CompiledTrace", "ReuseStats", "compile_trace", "hit_levels",
+    "TraceCache", "global_trace_cache",
     "brgemm_event", "spmm_event", "eltwise_event", "bandwidth_event",
     "PerfPrediction", "predict", "predict_traces",
     "SimResult", "simulate", "simulate_flat", "simulate_traces",

@@ -258,15 +258,29 @@ def simulate_flat(trace: ThreadTrace, machine: MachineModel, nthreads: int,
 
 
 def simulate(loop: ThreadedLoop, sim_body, machine: MachineModel,
-             dispatch_overhead: bool = True) -> SimResult:
+             dispatch_overhead: bool = True, trace_cache=None,
+             body_key=None) -> SimResult:
     """Simulate one ThreadedLoop kernel execution on *machine*.
 
     Static/grid schedules replay per-thread traces in lock-step; dynamic
     schedules are re-assigned greedily (self-scheduling).
+
+    *trace_cache* (a :class:`~repro.simulator.memo.TraceCache`) memoizes
+    trace capture across calls — repeated engine runs of the same
+    iteration order (e.g. one candidate simulated on several machine
+    models, or a perfmodel pass followed by an engine pass) then skip the
+    nest re-execution.  Replay itself is unchanged, so results are
+    bit-identical with or without the cache.
     """
     if loop.plan.parsed.schedule == "dynamic":
-        flat = trace_flat(loop, sim_body)
+        flat = trace_flat(loop, sim_body, trace_cache=trace_cache,
+                          body_key=body_key)
         return simulate_flat(flat, machine, loop.num_threads,
                              dispatch_overhead)
-    traces = trace_threaded_loop(loop, sim_body)
+    if trace_cache is not None:
+        traces = [trace_cache.thread_trace(loop, sim_body, tid,
+                                           body_key=body_key)
+                  for tid in range(loop.num_threads)]
+    else:
+        traces = trace_threaded_loop(loop, sim_body)
     return simulate_traces(traces, machine, dispatch_overhead)

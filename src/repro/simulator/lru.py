@@ -14,10 +14,20 @@ __all__ = ["LRUCache", "CacheHierarchy"]
 
 
 class LRUCache:
-    """Byte-capacity LRU set of tensor slices."""
+    """Byte-capacity LRU set of tensor slices.
+
+    A slice larger than the whole cache is *clamped* on insert: it
+    occupies ``capacity`` bytes (evicting everything else) rather than
+    being rejected — the paper's model has no concept of an uncacheable
+    slice, and a giant slice that was just touched is resident in the
+    sense that its most recent lines are.  Clamps are counted in
+    ``capacity_clamps``; the vectorized reuse-distance path
+    (:mod:`repro.simulator.reuse`) reproduces the same clamp-to-capacity
+    semantics (weights are ``min(footprint, capacity)``).
+    """
 
     __slots__ = ("capacity", "_entries", "_used", "hits", "misses",
-                 "evictions")
+                 "evictions", "capacity_clamps")
 
     def __init__(self, capacity: int):
         if capacity <= 0:
@@ -28,6 +38,7 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.capacity_clamps = 0
 
     def access(self, key, nbytes: int, owner: int = -1) -> bool:
         """Touch a slice; returns True on hit.  Inserts on miss.
@@ -57,6 +68,8 @@ class LRUCache:
         return key in self._entries
 
     def _insert(self, key, nbytes: int, owner: int) -> None:
+        if int(nbytes) > self.capacity:
+            self.capacity_clamps += 1
         nbytes = min(int(nbytes), self.capacity)
         while self._used + nbytes > self.capacity and self._entries:
             _k, (b, _o) = self._entries.popitem(last=False)
@@ -75,6 +88,7 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.capacity_clamps = 0
 
     def __len__(self) -> int:
         return len(self._entries)

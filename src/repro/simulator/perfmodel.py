@@ -15,9 +15,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..core.threaded_loop import ThreadedLoop
 from ..platform.machine import MachineModel
 from .lru import CacheHierarchy
+from .reuse import hit_levels
 from .trace import ThreadTrace, trace_threaded_loop
 
 __all__ = ["PerfPrediction", "predict", "predict_traces"]
@@ -48,7 +51,8 @@ class PerfPrediction:
 
 def predict(loop: ThreadedLoop, sim_body, machine: MachineModel,
             sample_threads: int | None = None,
-            total_flops: float | None = None) -> PerfPrediction:
+            total_flops: float | None = None,
+            trace_cache=None, body_key=None) -> PerfPrediction:
     """Model the performance of *loop* on *machine*.
 
     ``sim_body(ind)`` describes the per-invocation work (see
@@ -60,7 +64,21 @@ def predict(loop: ThreadedLoop, sim_body, machine: MachineModel,
     instantiation-independent, so callers usually know it exactly; pass
     it when sampling, otherwise the extrapolation from sampled threads
     over-credits schedules that starve most threads.
+
+    *trace_cache* (a :class:`~repro.simulator.memo.TraceCache`) switches
+    on the fast path: traces are captured once per iteration order and
+    replayed through the vectorized reuse-distance simulator
+    (:mod:`repro.simulator.reuse`) instead of per-access LRU updates.
+    ``seconds``/``total_flops``/``score`` are bit-identical to the seed
+    path (``hit_fractions`` can differ in the last ulps); traces whose
+    footprints violate the reuse-distance preconditions transparently
+    fall back to the LRU replay.  ``sim_body`` must be a pure function of
+    ``ind``; pass a stable *body_key* when the closure is rebuilt per
+    call.
     """
+    if trace_cache is not None:
+        return _predict_memoized(loop, sim_body, machine, sample_threads,
+                                 total_flops, trace_cache, body_key)
     if sample_threads is not None and sample_threads < loop.num_threads:
         step = max(1, loop.num_threads // sample_threads)
         tids = list(range(0, loop.num_threads, step))[:sample_threads]
@@ -82,6 +100,25 @@ def predict(loop: ThreadedLoop, sim_body, machine: MachineModel,
     return pred
 
 
+def _thread_view(machine: MachineModel, nthreads: int) -> tuple:
+    """Per-thread private view of the hierarchy: shared levels contribute
+    a 1/nthreads capacity and bandwidth share; data sharing itself is
+    ignored.  Returns ``(capacities, bandwidths, freq)`` with the DRAM
+    bandwidth appended last."""
+    capacities = []
+    bandwidths = []   # bytes/second per thread
+    freq = machine.freq_ghz * GIGA
+    for lv in machine.caches:
+        if lv.shared:
+            capacities.append(max(1, lv.size_bytes // nthreads))
+            bandwidths.append(lv.bw_bytes_per_cycle * freq / nthreads)
+        else:
+            capacities.append(lv.size_bytes)
+            bandwidths.append(lv.bw_bytes_per_cycle * freq)
+    bandwidths.append(machine.dram_bw_gbytes * GIGA / nthreads)
+    return capacities, bandwidths, freq
+
+
 def predict_traces(traces, machine: MachineModel, num_threads: int,
                    sample_threads: int | None = None) -> PerfPrediction:
     if sample_threads is not None and sample_threads < len(traces):
@@ -95,20 +132,7 @@ def predict_traces(traces, machine: MachineModel, num_threads: int,
         picked = list(traces)
 
     nthreads = max(1, num_threads)
-    # private view of the hierarchy: shared levels contribute a 1/nthreads
-    # capacity and bandwidth share; data sharing itself is ignored
-    capacities = []
-    bandwidths = []   # bytes/second per thread
-    freq = machine.freq_ghz * GIGA
-    for lv in machine.caches:
-        if lv.shared:
-            capacities.append(max(1, lv.size_bytes // nthreads))
-            bandwidths.append(lv.bw_bytes_per_cycle * freq / nthreads)
-        else:
-            capacities.append(lv.size_bytes)
-            bandwidths.append(lv.bw_bytes_per_cycle * freq)
-    dram_bw = machine.dram_bw_gbytes * GIGA / nthreads
-    bandwidths.append(dram_bw)
+    capacities, bandwidths, freq = _thread_view(machine, nthreads)
     n_levels = len(machine.caches)
 
     per_thread_s = []
@@ -141,4 +165,85 @@ def predict_traces(traces, machine: MachineModel, num_threads: int,
         total_flops=total_flops,
         per_thread_seconds=tuple(per_thread_s),
         hit_fractions=tuple(b / tot_bytes for b in level_bytes),
+    )
+
+
+def _predict_memoized(loop: ThreadedLoop, sim_body, machine: MachineModel,
+                      sample_threads, total_flops, trace_cache,
+                      body_key) -> PerfPrediction:
+    """The memoized + vectorized twin of :func:`predict`.
+
+    Same tid selection, same extrapolation arithmetic; replay goes
+    through :func:`~repro.simulator.reuse.hit_levels` instead of
+    per-access LRU updates.  Falls back to the LRU replay (still with
+    memoized capture) when a trace violates the reuse-distance
+    preconditions.
+    """
+    nthreads = loop.num_threads
+    sampled = sample_threads is not None and sample_threads < nthreads
+    if sampled:
+        step = max(1, nthreads // sample_threads)
+        tids = list(range(0, nthreads, step))[:sample_threads]
+        if tids[-1] != nthreads - 1:
+            tids.append(nthreads - 1)
+    else:
+        tids = list(range(nthreads))
+    try:
+        compiled = [trace_cache.compiled_thread_trace(loop, sim_body, tid,
+                                                      body_key=body_key)
+                    for tid in tids]
+        pred = _predict_compiled(compiled, machine, nthreads)
+    except ValueError:
+        traces = [trace_cache.thread_trace(loop, sim_body, tid,
+                                           body_key=body_key)
+                  for tid in tids]
+        pred = predict_traces(traces, machine, nthreads, None)
+    if sampled:
+        flops = (total_flops if total_flops is not None
+                 else pred.total_flops * nthreads / len(tids))
+        return PerfPrediction(pred.seconds, flops,
+                              pred.per_thread_seconds, pred.hit_fractions)
+    if total_flops is not None:
+        return PerfPrediction(pred.seconds, total_flops,
+                              pred.per_thread_seconds, pred.hit_fractions)
+    return pred
+
+
+def _predict_compiled(compiled, machine: MachineModel,
+                      num_threads: int) -> PerfPrediction:
+    """Vectorized replay of :class:`CompiledTrace`\\ s.
+
+    ``seconds``/``total_flops`` are bit-identical to the scalar replay:
+    per-event memory seconds accumulate via ``np.bincount`` (in-order
+    element adds, like the scalar ``+=`` loop) and totals via
+    ``np.cumsum(..)[-1]`` (sequential, unlike pairwise ``np.sum``).
+    """
+    nthreads = max(1, num_threads)
+    capacities, bandwidths, freq = _thread_view(machine, nthreads)
+    bw = np.asarray(bandwidths, dtype=np.float64)
+    n_levels = len(machine.caches)
+    level_bytes = np.zeros(n_levels + 1, dtype=np.float64)
+    per_thread_s = []
+    total_flops = 0.0
+    for ct in compiled:
+        levels, _stats = hit_levels(ct.key_ids, ct.footprint, capacities,
+                                    memo=ct.reuse_memo)
+        if ct.n_events == 0:
+            per_thread_s.append(0.0)
+            continue
+        mem_acc = ct.nbytes * ct.cost_scale / bw[levels]
+        mem_ev = np.bincount(ct.event_of, weights=mem_acc,
+                             minlength=ct.n_events)
+        comp_ev = ct.compute_cycles / freq
+        per_thread_s.append(float(np.cumsum(np.maximum(comp_ev, mem_ev))[-1]))
+        total_flops += ct.total_flops
+        level_bytes += np.bincount(levels, weights=ct.nbytes,
+                                   minlength=n_levels + 1)
+    makespan = max(per_thread_s) if per_thread_s else 0.0
+    tot_bytes = float(level_bytes.sum()) or 1.0
+    return PerfPrediction(
+        seconds=makespan,
+        total_flops=total_flops,
+        per_thread_seconds=tuple(per_thread_s),
+        hit_fractions=tuple(float(b) / tot_bytes for b in level_bytes),
     )

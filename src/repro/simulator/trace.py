@@ -110,12 +110,21 @@ def trace_threaded_loop(loop: ThreadedLoop, sim_body,
     return traces
 
 
-def trace_flat(loop: ThreadedLoop, sim_body) -> ThreadTrace:
+def trace_flat(loop: ThreadedLoop, sim_body, trace_cache=None,
+               body_key=None) -> ThreadTrace:
     """A single whole-nest trace (thread-agnostic iteration order).
 
     Used by the engine's dynamic-scheduling path, which re-assigns events
     to cores greedily by simulated availability.
+
+    The serial helper loop reuses ``loop._cache``, so the nest is only
+    JITed once per serialized order; pass a
+    :class:`~repro.simulator.memo.TraceCache` as *trace_cache* to also
+    memoize the trace itself (candidates differing only in parallel
+    annotations then share one capture).
     """
+    if trace_cache is not None:
+        return trace_cache.flat_trace(loop, sim_body, body_key=body_key)
     serial = ThreadedLoop(loop.specs, _serialize_spec(loop.spec_string),
                           num_threads=1, cache=loop._cache)
     out = ThreadTrace(0)
@@ -139,7 +148,7 @@ def _serialize_spec(spec: str) -> str:
     body, _, _directives = spec.partition("@")
     body = re.sub(r"\{\s*[RCD]\s*:\s*\d+\s*\}", "", body)
     body = body.replace("|", "")
-    return body.lower()
+    return body.strip().lower()
 
 
 class _TracingContext(NestContext):

@@ -2,15 +2,16 @@
 offline candidate search (Fig 1 Box B2, §II-D)."""
 
 from .constraints import TuningConstraints, prefix_products, prime_factors
+from .evalcache import EvalCache
 from .generator import Candidate, generate_candidates
-from .search import (SearchResult, TuneOutcome, engine_evaluator,
-                     perfmodel_evaluator, search)
+from .search import (SearchFailure, SearchResult, TuneOutcome,
+                     engine_evaluator, perfmodel_evaluator, search)
 from .timing import TuningCost
 
 __all__ = [
     "TuningConstraints", "prime_factors", "prefix_products",
     "Candidate", "generate_candidates",
-    "TuneOutcome", "SearchResult", "search",
+    "TuneOutcome", "SearchResult", "SearchFailure", "search",
     "perfmodel_evaluator", "engine_evaluator",
-    "TuningCost",
+    "EvalCache", "TuningCost",
 ]

@@ -1,0 +1,138 @@
+"""Persistent evaluation cache — warm-starting repeated sweeps.
+
+A tuning sweep's unit of work is *evaluate candidate X on machine M for
+workload W*, and its result never changes (the simulator is
+deterministic).  :class:`EvalCache` memoizes exactly that triple so a
+re-run of a bench (or an incremental sweep over a grown candidate set)
+only evaluates what it has not seen, and can persist the table to JSON
+between processes.
+
+Only successful evaluations are cached; invalid candidates re-raise
+their (cheap, build-time) errors so :func:`~repro.tuner.search.search`
+accounting stays intact.  With ``search(workers=N)``, lookups hit in
+every forked worker but stores made inside workers die with them — call
+:meth:`record` on the returned ``SearchResult`` to backfill the parent
+cache from the outcomes (which do survive the pool) before saving.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+
+from .generator import Candidate
+from .search import TuneOutcome
+
+__all__ = ["EvalCache"]
+
+
+class EvalCache:
+    """Thread-safe ``(candidate, machine, workload) -> outcome`` cache."""
+
+    def __init__(self, path: str | None = None):
+        self._lock = threading.Lock()
+        self._data: dict = {}
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        if path is not None and os.path.exists(path):
+            self.load(path)
+
+    @staticmethod
+    def candidate_key(candidate: Candidate) -> str:
+        steps = ";".join(",".join(map(str, st))
+                         for st in candidate.block_steps)
+        return f"{candidate.spec_string}::{steps}"
+
+    def key(self, candidate: Candidate, machine_sig: str,
+            workload_sig: str) -> str:
+        return f"{self.candidate_key(candidate)}::{machine_sig}::{workload_sig}"
+
+    def lookup(self, key: str):
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
+
+    def store(self, key: str, score: float, seconds: float) -> None:
+        with self._lock:
+            self._data[key] = {"score": score, "seconds": seconds}
+
+    def wrap(self, evaluator, machine, workload_sig: str):
+        """An evaluator that consults this cache before *evaluator*.
+
+        *machine* is a machine model (its ``name`` is the signature) or a
+        plain signature string; *workload_sig* must identify the kernel
+        shape + body (e.g. ``"gemm-f32-2048x2048x2048-nt112-st2"``) —
+        the cache cannot see the closure, so a colliding signature
+        silently returns the wrong numbers.
+        """
+        machine_sig = getattr(machine, "name", None) or str(machine)
+
+        def evaluate(candidate: Candidate) -> TuneOutcome:
+            k = self.key(candidate, machine_sig, workload_sig)
+            entry = self.lookup(k)
+            if entry is not None:
+                return TuneOutcome(candidate, entry["score"],
+                                   entry["seconds"])
+            out = evaluator(candidate)
+            if out.valid:
+                self.store(k, out.score, out.seconds)
+            return out
+        return evaluate
+
+    def record(self, result, machine, workload_sig: str) -> int:
+        """Backfill the cache from a finished search's valid outcomes.
+
+        Needed after ``search(workers=N)``: evaluations (and the stores a
+        wrapped evaluator makes) happen in forked workers, but the
+        outcomes come back to the parent — record them here before
+        :meth:`save`.  Returns how many entries were added.
+        """
+        machine_sig = getattr(machine, "name", None) or str(machine)
+        added = 0
+        for out in result.outcomes:
+            if not out.valid:
+                continue
+            k = self.key(out.candidate, machine_sig, workload_sig)
+            with self._lock:
+                if k not in self._data:
+                    self._data[k] = {"score": out.score,
+                                     "seconds": out.seconds}
+                    added += 1
+        return added
+
+    def save(self, path: str | None = None) -> str:
+        """Atomically persist the table as JSON; returns the path."""
+        path = path or self.path
+        if path is None:
+            raise ValueError("EvalCache.save needs a path")
+        with self._lock:
+            payload = json.dumps(self._data, indent=0, sort_keys=True)
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def load(self, path: str) -> int:
+        """Merge entries from *path*; returns how many were loaded."""
+        with open(path) as fh:
+            loaded = json.load(fh)
+        with self._lock:
+            self._data.update(loaded)
+        return len(loaded)
+
+    def __len__(self) -> int:
+        return len(self._data)

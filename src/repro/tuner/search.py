@@ -4,10 +4,23 @@ Candidates are benchmarked by an *evaluator* — the lightweight perf model
 (cheap, cross-architecture, §II-E) or the full engine — and ranked; the
 best spec string becomes the runtime knob.  Zero lines of user kernel code
 change across candidates.
+
+Throughput knobs (all ranking-preserving — results are identical to the
+plain serial sweep, only faster):
+
+* ``trace_cache=`` on the evaluators memoizes trace capture and switches
+  the perfmodel to its vectorized reuse-distance replay;
+* ``search(..., workers=N)`` fans candidate evaluation out over forked
+  worker processes in deterministic chunks;
+* ``search(..., screen=cheap_evaluator)`` adds a successive-halving
+  stage: every candidate is scored by the cheap evaluator first and only
+  the top ``screen_keep`` fraction graduates to the full evaluator.
 """
 
 from __future__ import annotations
 
+import math
+import multiprocessing
 import time
 from dataclasses import dataclass
 
@@ -17,7 +30,7 @@ from ..simulator.engine import simulate
 from ..simulator.perfmodel import predict
 from .generator import Candidate
 
-__all__ = ["TuneOutcome", "SearchResult", "search",
+__all__ = ["TuneOutcome", "SearchResult", "SearchFailure", "search",
            "perfmodel_evaluator", "engine_evaluator"]
 
 
@@ -33,6 +46,14 @@ class TuneOutcome:
 
 
 @dataclass(frozen=True)
+class SearchFailure:
+    """Why one candidate was skipped."""
+
+    candidate: Candidate
+    error: str
+
+
+@dataclass(frozen=True)
 class SearchResult:
     """Ranked tuning outcomes plus the cost of the search itself."""
 
@@ -40,6 +61,10 @@ class SearchResult:
     evaluated: int
     skipped: int
     wall_seconds: float
+    #: one :class:`SearchFailure` per skipped candidate (screen + full)
+    failures: tuple = ()
+    #: candidates dropped by the successive-halving screen stage
+    pruned: int = 0
 
     @property
     def best(self) -> TuneOutcome:
@@ -54,50 +79,145 @@ class SearchResult:
 def perfmodel_evaluator(base_specs, sim_body, machine: MachineModel,
                         num_threads: int | None = None,
                         sample_threads: int | None = 4,
-                        total_flops: float | None = None):
+                        total_flops: float | None = None,
+                        trace_cache=None):
     """Evaluator using the Box-B3 model — the paper's cheap tuning path.
 
     Pass ``total_flops`` (the instantiation-independent kernel flop
     count) whenever sampling, so starved schedules are not over-credited.
+    A shared ``trace_cache`` (:class:`~repro.simulator.memo.TraceCache`)
+    makes sweeps trace each iteration order once and replay it through
+    the vectorized reuse-distance simulator; scores are bit-identical.
     """
     def evaluate(candidate: Candidate) -> TuneOutcome:
         loop = candidate.build_loop(base_specs, num_threads=num_threads)
         pred = predict(loop, sim_body, machine,
                        sample_threads=sample_threads,
-                       total_flops=total_flops)
+                       total_flops=total_flops,
+                       trace_cache=trace_cache)
         return TuneOutcome(candidate, pred.score, pred.seconds)
     return evaluate
 
 
 def engine_evaluator(base_specs, sim_body, machine: MachineModel,
-                     num_threads: int | None = None):
+                     num_threads: int | None = None, trace_cache=None):
     """Evaluator using the full engine — the 'benchmark offline' path."""
     def evaluate(candidate: Candidate) -> TuneOutcome:
         loop = candidate.build_loop(base_specs, num_threads=num_threads)
-        res = simulate(loop, sim_body, machine)
+        res = simulate(loop, sim_body, machine, trace_cache=trace_cache)
         return TuneOutcome(candidate, res.gflops, res.seconds)
     return evaluate
 
 
-def search(candidates, evaluator, top_k: int | None = None) -> SearchResult:
+def search(candidates, evaluator, top_k: int | None = None,
+           workers: int | None = None, screen=None,
+           screen_keep: float = 0.5) -> SearchResult:
     """Evaluate candidates, skipping ones invalid for these loop bounds
     (imperfect blocking chains etc.) or whose evaluation fails at
     runtime, and rank by score.  A poisoned candidate is recorded as an
-    invalid outcome — it never aborts the rest of the search."""
+    invalid outcome — it never aborts the rest of the search; skipped
+    candidates are reported in ``result.failures``.
+
+    ``workers=N`` evaluates chunks of candidates in N forked processes;
+    chunking is deterministic and results are merged in candidate order,
+    so the ranking is identical to ``workers=1`` for any evaluator.  (On
+    platforms without ``fork`` the search silently runs serially.)
+
+    ``screen=`` enables successive halving: the (cheap) *screen*
+    evaluator scores every candidate, only the best ``screen_keep``
+    fraction is evaluated by the full *evaluator*, and the rest are
+    counted in ``result.pruned``.  Ties break on candidate order.
+    """
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if screen is not None and not 0.0 < screen_keep <= 1.0:
+        raise ValueError(f"screen_keep must be in (0, 1], got {screen_keep}")
     t0 = time.perf_counter()
-    outcomes = []
+    candidates = list(candidates)
+    failures: list = []
     skipped = 0
-    for cand in candidates:
-        try:
-            outcomes.append(evaluator(cand))
-        except (SpecError, ExecutionError) as exc:
+    pruned = 0
+    if screen is not None and len(candidates) > 1:
+        screened = _evaluate(candidates, screen, workers)
+        valid_idx = []
+        for i, out in enumerate(screened):
+            if out.valid:
+                valid_idx.append(i)
+            else:
+                skipped += 1
+                failures.append(SearchFailure(candidates[i], out.error))
+        keep = max(1, math.ceil(len(valid_idx) * screen_keep))
+        ranked_idx = sorted(valid_idx,
+                            key=lambda i: (-screened[i].score, i))
+        survivors = sorted(ranked_idx[:keep])
+        pruned = len(valid_idx) - len(survivors)
+        candidates = [candidates[i] for i in survivors]
+    outcomes = _evaluate(candidates, evaluator, workers)
+    for out in outcomes:
+        if not out.valid:
             skipped += 1
-            outcomes.append(TuneOutcome(cand, float("-inf"), float("inf"),
-                                        valid=False, error=str(exc)))
+            failures.append(SearchFailure(out.candidate, out.error))
     wall = time.perf_counter() - t0
     ranked = tuple(sorted((o for o in outcomes if o.valid),
                           key=lambda o: o.score, reverse=True))
     if top_k is not None:
         ranked = ranked[:top_k]
-    return SearchResult(ranked, evaluated=len(outcomes) - skipped,
-                        skipped=skipped, wall_seconds=wall)
+    evaluated = sum(1 for o in outcomes if o.valid)
+    return SearchResult(ranked, evaluated=evaluated, skipped=skipped,
+                        wall_seconds=wall, failures=tuple(failures),
+                        pruned=pruned)
+
+
+def _safe_eval(evaluator, candidate: Candidate) -> TuneOutcome:
+    try:
+        return evaluator(candidate)
+    except (SpecError, ExecutionError) as exc:
+        return TuneOutcome(candidate, float("-inf"), float("inf"),
+                           valid=False, error=str(exc))
+
+
+def _evaluate(candidates, evaluator, workers) -> list:
+    if workers is not None and workers > 1 and len(candidates) > 1:
+        parallel = _evaluate_parallel(candidates, evaluator, workers)
+        if parallel is not None:
+            return parallel
+    return [_safe_eval(evaluator, c) for c in candidates]
+
+
+# Evaluators are closures over loops/bodies/machines and cannot be
+# pickled, so the parallel path is fork-only: workers inherit the work
+# via this module-level slot and are sent plain index ranges.
+_FORK_WORK: dict = {}
+
+
+def _fork_eval_range(bounds) -> list:
+    lo, hi = bounds
+    candidates = _FORK_WORK["candidates"]
+    evaluator = _FORK_WORK["evaluator"]
+    return [_safe_eval(evaluator, candidates[i]) for i in range(lo, hi)]
+
+
+def _evaluate_parallel(candidates, evaluator, workers):
+    """Chunked fork-pool evaluation; None when fork is unavailable.
+
+    Chunks are fixed index ranges and results are concatenated in order,
+    so the outcome list is identical to the serial sweep regardless of
+    scheduling.  Caches populated inside workers (trace/eval caches) die
+    with them — warm the parent first if cache persistence matters.
+    """
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+    n = len(candidates)
+    workers = min(int(workers), n)
+    chunk = max(1, math.ceil(n / (workers * 4)))
+    bounds = [(lo, min(lo + chunk, n)) for lo in range(0, n, chunk)]
+    _FORK_WORK["candidates"] = candidates
+    _FORK_WORK["evaluator"] = evaluator
+    try:
+        with ctx.Pool(processes=workers) as pool:
+            parts = pool.map(_fork_eval_range, bounds)
+    finally:
+        _FORK_WORK.clear()
+    return [out for part in parts for out in part]

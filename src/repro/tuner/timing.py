@@ -28,6 +28,10 @@ class TuningCost:
     #: projected cost of benchmarking every valid candidate on hardware
     projected_bench_seconds: float
     repeats: int
+    #: candidates dropped by the successive-halving screen stage
+    pruned: int = 0
+    #: per-skip diagnostics ("spec: error"), from ``SearchResult.failures``
+    failure_reasons: tuple = ()
 
     @classmethod
     def from_search(cls, result: SearchResult,
@@ -36,10 +40,13 @@ class TuningCost:
         offline benchmark would time each candidate."""
         bench = sum(o.seconds for o in result.outcomes
                     if o.valid and o.seconds != float("inf"))
+        reasons = tuple(f"{f.candidate.spec_string}: {f.error}"
+                        for f in result.failures)
         return cls(evaluated=result.evaluated, skipped=result.skipped,
                    wall_seconds=result.wall_seconds,
                    projected_bench_seconds=bench * repeats,
-                   repeats=repeats)
+                   repeats=repeats, pruned=result.pruned,
+                   failure_reasons=reasons)
 
     @property
     def per_candidate_seconds(self) -> float:
@@ -55,7 +62,9 @@ class TuningCost:
         return other.projected_bench_seconds / self.projected_bench_seconds
 
     def describe(self) -> str:
-        return (f"{self.evaluated} candidates ({self.skipped} skipped) | "
+        pruned = f", {self.pruned} pruned" if self.pruned else ""
+        return (f"{self.evaluated} candidates ({self.skipped} skipped"
+                f"{pruned}) | "
                 f"harness {self.wall_seconds:.2f}s | projected bench "
                 f"{self.projected_bench_seconds:.2f}s @ {self.repeats} "
                 f"repeats")

@@ -1,0 +1,101 @@
+"""NestCache disk persistence: generated sources survive the process."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import LoopSpecs, NestCache, ThreadedLoop
+
+SPECS = [LoopSpecs(0, 8, 1), LoopSpecs(0, 8, 1)]
+
+
+def _run(loop):
+    seen = []
+    loop(lambda ind: seen.append(tuple(ind)))
+    return seen
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = os.fspath(tmp_path / "nests.json")
+        cache = NestCache(persist_path=path)
+        ThreadedLoop(SPECS, "ab", cache=cache)
+        ThreadedLoop(SPECS, "Ba", num_threads=2, cache=cache)
+        assert cache.misses == 2
+        cache.save()
+
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert len(payload) == 2
+        assert all("def parlooper_nest" in src for src in payload.values())
+
+    def test_disk_hit_skips_codegen(self, tmp_path):
+        path = os.fspath(tmp_path / "nests.json")
+        warm = NestCache(persist_path=path)
+        ThreadedLoop(SPECS, "ab", cache=warm)
+        warm.save()
+
+        cold = NestCache(persist_path=path)     # autoloads
+        ThreadedLoop(SPECS, "ab", cache=cold)
+        assert cold.disk_hits == 1
+        assert cold.misses == 0
+        # a second request in-process is a plain memory hit
+        ThreadedLoop(SPECS, "ab", cache=cold)
+        assert cold.hits == 1 and cold.disk_hits == 1
+
+    def test_persisted_nest_executes_identically(self, tmp_path):
+        path = os.fspath(tmp_path / "nests.json")
+        fresh = NestCache()
+        reference = _run(ThreadedLoop(SPECS, "ba", cache=fresh))
+        fresh.save(path)
+
+        restored = NestCache(persist_path=path)
+        replay = _run(ThreadedLoop(SPECS, "ba", cache=restored))
+        assert restored.disk_hits == 1
+        assert replay == reference
+
+    def test_missing_path_is_fine(self, tmp_path):
+        path = os.fspath(tmp_path / "does-not-exist.json")
+        cache = NestCache(persist_path=path)
+        ThreadedLoop(SPECS, "ab", cache=cache)
+        assert cache.misses == 1
+        assert not os.path.exists(path)          # only save() writes
+
+    def test_save_requires_a_path(self):
+        with pytest.raises(ValueError):
+            NestCache().save()
+
+    def test_load_merges(self, tmp_path):
+        p1 = os.fspath(tmp_path / "one.json")
+        p2 = os.fspath(tmp_path / "two.json")
+        c1 = NestCache()
+        ThreadedLoop(SPECS, "ab", cache=c1)
+        c1.save(p1)
+        c2 = NestCache()
+        ThreadedLoop(SPECS, "ba", cache=c2)
+        c2.save(p2)
+
+        merged = NestCache()
+        assert merged.load(p1) == 1
+        assert merged.load(p2) == 1
+        ThreadedLoop(SPECS, "ab", cache=merged)
+        ThreadedLoop(SPECS, "ba", cache=merged)
+        assert merged.disk_hits == 2 and merged.misses == 0
+
+    def test_clear_drops_sources(self, tmp_path):
+        path = os.fspath(tmp_path / "nests.json")
+        cache = NestCache(persist_path=path)
+        ThreadedLoop(SPECS, "ab", cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        ThreadedLoop(SPECS, "ab", cache=cache)
+        assert cache.misses == 1 and cache.disk_hits == 0
+
+    def test_atomic_save_leaves_no_temp_files(self, tmp_path):
+        path = os.fspath(tmp_path / "nests.json")
+        cache = NestCache(persist_path=path)
+        ThreadedLoop(SPECS, "ab", cache=cache)
+        cache.save()
+        cache.save()                              # overwrite in place
+        assert sorted(os.listdir(tmp_path)) == ["nests.json"]

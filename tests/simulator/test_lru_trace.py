@@ -40,6 +40,22 @@ class TestLRUCache:
         c.access("big", 1000)
         assert c.used_bytes <= 100
 
+    def test_capacity_clamps_counted(self):
+        # a clamped slice occupies the whole cache (evicting everything)
+        # and every clamping *insert* increments the counter — re-touching
+        # a resident clamped slice is a hit, not another clamp
+        c = LRUCache(100)
+        c.access("big", 1000)
+        assert c.capacity_clamps == 1
+        assert c.access("big", 1000)           # hit: no new clamp
+        assert c.capacity_clamps == 1
+        c.access("small", 50)                  # evicts big
+        c.access("big", 1000)                  # miss again: clamp again
+        assert c.capacity_clamps == 2
+        assert not c.contains("small")
+        c.clear()
+        assert c.capacity_clamps == 0
+
     def test_owner_tracking(self):
         c = LRUCache(1024)
         c.access("x", 10, owner=3)

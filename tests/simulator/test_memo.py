@@ -1,0 +1,185 @@
+"""TraceCache: memoized trace capture for tuning sweeps."""
+
+import pytest
+
+from repro.core import LoopSpecs, ThreadedLoop
+from repro.platform import SPR
+from repro.simulator import (Access, BodyEvent, TraceCache, predict, simulate,
+                             trace_flat)
+
+SPECS = [LoopSpecs(0, 4, 1), LoopSpecs(0, 4, 1)]
+
+
+def _body(ind):
+    ia, ib = ind
+    return BodyEvent(accesses=(Access(("x", ia), 256),
+                               Access(("y", ib), 256)),
+                     flops=100.0, flops_per_cycle=2.0)
+
+
+class TestCounters:
+    def test_hit_miss_accounting(self):
+        cache = TraceCache()
+        loop = ThreadedLoop(SPECS, "aB", num_threads=2)
+        cache.thread_trace(loop, _body, 0)
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.thread_trace(loop, _body, 0)
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.thread_trace(loop, _body, 1)
+        assert (cache.hits, cache.misses) == (1, 2)
+        st = cache.stats()
+        assert st["hits"] == 1 and st["misses"] == 2 and st["entries"] == 2
+
+    def test_identical_traces_returned(self):
+        cache = TraceCache()
+        loop = ThreadedLoop(SPECS, "aB", num_threads=2)
+        t1 = cache.thread_trace(loop, _body, 0)
+        t2 = cache.thread_trace(loop, _body, 0)
+        assert t1 is t2
+
+    def test_clear(self):
+        cache = TraceCache()
+        loop = ThreadedLoop(SPECS, "ab", num_threads=1)
+        cache.thread_trace(loop, _body, 0)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_eviction_bound(self):
+        cache = TraceCache(max_entries=2)
+        for spec in ("ab", "ba", "aB"):
+            loop = ThreadedLoop(SPECS, spec, num_threads=1)
+            cache.thread_trace(loop, _body, 0)
+        assert len(cache) == 2
+        # the oldest ("ab") entry was evicted: re-tracing misses
+        misses = cache.misses
+        cache.thread_trace(ThreadedLoop(SPECS, "ab", num_threads=1),
+                           _body, 0)
+        assert cache.misses == misses + 1
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            TraceCache(max_entries=0)
+
+
+class TestKeySharing:
+    def test_barriers_share_thread_traces(self):
+        """``b|a`` and ``ba`` run identical per-thread iterations."""
+        cache = TraceCache()
+        plain = ThreadedLoop(SPECS, "Ba", num_threads=2)
+        barred = ThreadedLoop(SPECS, "B|a", num_threads=2,
+                              execution="threads")
+        t0 = cache.thread_trace(plain, _body, 0)
+        assert cache.misses == 1
+        t0b = cache.thread_trace(barred, _body, 0)
+        assert cache.hits == 1 and t0b is t0
+
+    def test_serialized_order_shares_flat_traces(self):
+        """Flat traces key on the *serialized* order: parallel markup and
+        schedule directives don't change it."""
+        cache = TraceCache()
+        a = trace_flat(ThreadedLoop(SPECS, "bA", num_threads=2),
+                       _body, trace_cache=cache)
+        b = trace_flat(
+            ThreadedLoop(SPECS, "ba @ schedule(dynamic, 1)", num_threads=2),
+            _body, trace_cache=cache)
+        assert cache.hits == 1 and b is a
+
+    def test_different_orders_do_not_collide(self):
+        cache = TraceCache()
+        a = trace_flat(ThreadedLoop(SPECS, "ab", num_threads=1),
+                       _body, trace_cache=cache)
+        b = trace_flat(ThreadedLoop(SPECS, "ba", num_threads=1),
+                       _body, trace_cache=cache)
+        assert cache.misses == 2
+        assert [e.accesses[0].key for e in a.events] != \
+               [e.accesses[0].key for e in b.events]
+
+    def test_body_key_overrides_identity(self):
+        cache = TraceCache()
+        loop = ThreadedLoop(SPECS, "ab", num_threads=1)
+        cache.thread_trace(loop, lambda ind: _body(ind), 0, body_key="k1")
+        cache.thread_trace(loop, lambda ind: _body(ind), 0, body_key="k1")
+        assert cache.hits == 1
+
+
+class TestBodyMemo:
+    def test_body_called_once_per_distinct_ind(self):
+        calls = []
+
+        def counting(ind):
+            calls.append(tuple(ind))
+            return _body(ind)
+
+        cache = TraceCache()
+        # two candidates sweeping the same 4x4 space
+        trace_flat(ThreadedLoop(SPECS, "ab", num_threads=1),
+                   counting, trace_cache=cache, body_key="cnt")
+        trace_flat(ThreadedLoop(SPECS, "ba", num_threads=1),
+                   counting, trace_cache=cache, body_key="cnt")
+        assert len(calls) == 16                 # not 32
+        assert len(set(calls)) == 16
+
+    def test_memo_is_per_body_key(self):
+        calls = []
+
+        def counting(ind):
+            calls.append(tuple(ind))
+            return _body(ind)
+
+        cache = TraceCache()
+        loop = ThreadedLoop(SPECS, "ab", num_threads=1)
+        trace_flat(loop, counting, trace_cache=cache, body_key="k1")
+        trace_flat(loop, counting, trace_cache=cache, body_key="k2")
+        # different body keys don't share the ind memo (k2 re-traces
+        # because the flat-trace key differs too)
+        assert len(calls) == 32
+
+
+class TestPatternSharing:
+    def test_parallel_tids_share_reuse_memo(self):
+        """Data-parallel tids walk isomorphic tile sequences, so their
+        compiled traces share one reuse-distance memo."""
+        cache = TraceCache()
+        loop = ThreadedLoop(SPECS, "Ba", num_threads=2)
+        c0 = cache.compiled_thread_trace(loop, _body, 0)
+        c1 = cache.compiled_thread_trace(loop, _body, 1)
+        assert c1.reuse_memo is c0.reuse_memo
+        # ...but the actual slice keys still differ per tid
+        assert c0.keys != c1.keys
+
+    def test_distinct_patterns_keep_private_memos(self):
+        def skewed(ind):
+            ia, ib = ind
+            if ia == 0:
+                return _body(ind)
+            return BodyEvent(accesses=(Access(("x", ia), 256),), flops=1.0)
+
+        cache = TraceCache()
+        loop = ThreadedLoop(SPECS, "Ab", num_threads=2)
+        c0 = cache.compiled_thread_trace(loop, skewed, 0)
+        c1 = cache.compiled_thread_trace(loop, skewed, 1)
+        assert c1.reuse_memo is not c0.reuse_memo
+
+
+class TestConsumers:
+    def test_predict_populates_and_reuses(self):
+        specs = [LoopSpecs(0, 4, 1), LoopSpecs(0, 4, 1)]
+        loop = ThreadedLoop(specs, "aB", num_threads=2)
+        cache = TraceCache()
+        predict(loop, _body, SPR, trace_cache=cache)
+        misses = cache.misses
+        assert misses > 0
+        predict(loop, _body, SPR, trace_cache=cache)
+        # second sweep hits the compiled entries, builds nothing new
+        assert cache.misses == misses and cache.hits == 2
+
+    def test_engine_and_perfmodel_share_raw_traces(self):
+        loop = ThreadedLoop(SPECS, "aB", num_threads=2)
+        cache = TraceCache()
+        no_cache = simulate(loop, _body, SPR)
+        with_cache = simulate(loop, _body, SPR, trace_cache=cache)
+        assert with_cache == no_cache
+        # perfmodel replays the same cached raw traces
+        hits = cache.hits
+        predict(loop, _body, SPR, trace_cache=cache)
+        assert cache.hits > hits

@@ -1,0 +1,235 @@
+"""Differential tests: vectorized reuse-distance replay vs the LRU oracle.
+
+The seed ``LRUCache``/``CacheHierarchy`` stays in the tree precisely to
+serve as the oracle here: :func:`repro.simulator.reuse.hit_levels` must
+agree with it hit-level-for-hit-level on randomized traces, and the
+memoized fast ``predict`` path must reproduce the seed prediction bit for
+bit.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import LoopSpecs, ThreadedLoop
+from repro.platform import ADL, GVT3, SPR, ZEN4
+from repro.simulator import (Access, BodyEvent, CacheHierarchy, CompiledTrace,
+                             ThreadTrace, TraceCache, brgemm_event,
+                             compile_trace, hit_levels, predict, simulate)
+from repro.simulator.reuse import (_DENSE_PAIR_MAX, _intervening_bytes,
+                                   _prev_next)
+from repro.tpp.dtypes import DType
+
+CAP_CHOICES = [4, 8, 16, 64, 128, 1024, 4096, 20000]
+FP_CHOICES = [1, 2, 3, 5, 8, 16, 64, 100, 1000, 5000]
+
+
+def _random_case(rng):
+    """A randomized access stream with per-key-constant footprints."""
+    n_keys = rng.randint(1, 40)
+    n = rng.randint(1, 400)
+    keys = [rng.randrange(n_keys) for _ in range(n)]
+    per_key_fp = [rng.choice(FP_CHOICES) for _ in range(n_keys)]
+    fp = [per_key_fp[k] for k in keys]
+    caps = sorted(rng.choice(CAP_CHOICES)
+                  for _ in range(rng.randint(1, 4)))
+    return keys, fp, caps
+
+
+def _oracle_levels(keys, fp, caps):
+    hier = CacheHierarchy(caps)
+    levels = [hier.lookup(("k", k), f) for k, f in zip(keys, fp)]
+    clamps = tuple(lvl.capacity_clamps for lvl in hier.levels)
+    return levels, clamps
+
+
+class TestHitLevelsDifferential:
+    def test_matches_lru_oracle_on_randomized_traces(self):
+        """>= 100 randomized traces, every access, every level."""
+        rng = random.Random(1234)
+        for trial in range(150):
+            keys, fp, caps = _random_case(rng)
+            ref, ref_clamps = _oracle_levels(keys, fp, caps)
+            memo = {}
+            lv, stats = hit_levels(np.array(keys), np.array(fp), caps,
+                                   memo=memo)
+            assert list(lv) == ref, f"trial {trial}: caps={caps}"
+            assert stats.capacity_clamps == ref_clamps, f"trial {trial}"
+            # memo reuse must not change anything
+            lv2, stats2 = hit_levels(np.array(keys), np.array(fp), caps,
+                                     memo=memo)
+            assert list(lv2) == ref and stats2 == stats, f"trial {trial}"
+            # and no memo at all must agree too
+            lv3, stats3 = hit_levels(np.array(keys), np.array(fp), caps)
+            assert list(lv3) == ref and stats3 == stats, f"trial {trial}"
+
+    def test_writes_and_footprint_inflation(self):
+        """Footprint > nbytes (layout-penalty modelling) stays exact."""
+        rng = random.Random(99)
+        for trial in range(40):
+            n_keys = rng.randint(2, 12)
+            keys = [rng.randrange(n_keys) for _ in range(rng.randint(5, 120))]
+            infl = [rng.choice([64, 96, 128]) for _ in range(n_keys)]
+            fp = [infl[k] for k in keys]
+            caps = sorted(rng.choice([128, 256, 512]) for _ in range(2))
+            ref, ref_clamps = _oracle_levels(keys, fp, caps)
+            lv, stats = hit_levels(np.array(keys), np.array(fp), caps)
+            assert list(lv) == ref
+            assert stats.capacity_clamps == ref_clamps
+
+    def test_oversized_footprints_clamped_like_lru(self):
+        # footprint 1000 > cap 128: inserted clamped, counted in stats
+        keys = [0, 1, 0, 1, 0]
+        fp = [1000, 50, 1000, 50, 1000]
+        ref, ref_clamps = _oracle_levels(keys, fp, [128])
+        lv, stats = hit_levels(np.array(keys), np.array(fp), [128])
+        assert list(lv) == ref
+        assert stats.capacity_clamps == ref_clamps
+        assert stats.capacity_clamps[0] > 0
+
+    def test_stats_shape(self):
+        lv, stats = hit_levels(np.array([0, 0, 1]), np.array([8, 8, 8]),
+                               [16, 64])
+        assert len(stats.accesses) == len(stats.hits) == 2
+        assert stats.accesses[0] == 3
+
+
+class TestPreconditions:
+    def test_zero_footprint_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            hit_levels(np.array([0, 1]), np.array([0, 4]), [16])
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            hit_levels(np.array([0]), np.array([4]), [0])
+
+    def test_compile_trace_rejects_zero_footprint(self):
+        tr = ThreadTrace(0, [BodyEvent(accesses=(
+            Access(("x",), 64, footprint=-3),), flops=1.0)])
+        # Access freezes footprint=0 into nbytes, so use a negative one
+        with pytest.raises(ValueError, match="positive"):
+            compile_trace(tr)
+
+    def test_compile_trace_rejects_changing_footprint(self):
+        tr = ThreadTrace(0, [
+            BodyEvent(accesses=(Access(("x",), 64, footprint=64),)),
+            BodyEvent(accesses=(Access(("x",), 64, footprint=128),)),
+        ])
+        with pytest.raises(ValueError, match="changed mid-trace"):
+            compile_trace(tr)
+
+
+class TestDenseVsDivideAndConquer:
+    def test_paths_agree_on_per_key_constant_weights(self):
+        rng = random.Random(7)
+        for _trial in range(30):
+            n_keys = rng.randint(1, 30)
+            n = rng.randint(2, 300)
+            keys = np.array([rng.randrange(n_keys) for _ in range(n)])
+            wk = np.array([rng.choice(FP_CHOICES) for _ in range(n_keys)],
+                          dtype=np.int64)
+            w = wk[keys]
+            prev, nxt = _prev_next(keys)
+            dense = _intervening_bytes(prev, nxt, w)
+            # force the D&C branch by a monkey-free trick: huge weights
+            # fail the overflow guard only at absurd sizes, so instead
+            # compare against the D&C called through a shrunken cutoff
+            import repro.simulator.reuse as reuse_mod
+            old = reuse_mod._DENSE_PAIR_MAX
+            reuse_mod._DENSE_PAIR_MAX = 0
+            try:
+                dc = _intervening_bytes(prev, nxt, w)
+            finally:
+                reuse_mod._DENSE_PAIR_MAX = old
+            assert np.array_equal(dense, dc)
+
+    def test_cutoff_is_positive(self):
+        assert _DENSE_PAIR_MAX > 0
+
+
+def _gemm_workload(nb=4):
+    specs = [LoopSpecs(0, 8, 8), LoopSpecs(0, nb, 1), LoopSpecs(0, nb, 1)]
+
+    def body(ind):
+        ik, im, inn = ind
+        return brgemm_event(SPR, DType.F32, 64, 64, 64, 8,
+                            [("A", im, k) for k in range(8)],
+                            [("B", inn, k) for k in range(8)],
+                            ("C", inn, im), beta=1.0, c_first_touch=True)
+    return specs, body
+
+
+class TestFastPredictBitIdentity:
+    @pytest.mark.parametrize("spec", ["bcA", "Bca", "bC{R:4}a",
+                                      "b|cA", "BCa"])
+    def test_predict_identical_across_machines(self, spec):
+        specs, body = _gemm_workload()
+        execution = "threads" if "|" in spec else "serial"
+        loop = ThreadedLoop(specs, spec, num_threads=4, execution=execution)
+        cache = TraceCache()
+        for machine in (SPR, GVT3, ZEN4, ADL):
+            a = predict(loop, body, machine, total_flops=2.0 * 4 * 64 ** 3)
+            b = predict(loop, body, machine, total_flops=2.0 * 4 * 64 ** 3,
+                        trace_cache=cache)
+            assert a.seconds == b.seconds
+            assert a.total_flops == b.total_flops
+            assert a.per_thread_seconds == b.per_thread_seconds
+            assert a.score == b.score
+
+    def test_predict_identical_when_sampling(self):
+        specs, body = _gemm_workload(nb=8)
+        loop = ThreadedLoop(specs, "bCa", num_threads=8)
+        cache = TraceCache()
+        a = predict(loop, body, SPR, sample_threads=2,
+                    total_flops=2.0 * 8 * 64 ** 3)
+        b = predict(loop, body, SPR, sample_threads=2,
+                    total_flops=2.0 * 8 * 64 ** 3, trace_cache=cache)
+        assert a.seconds == b.seconds
+        assert a.per_thread_seconds == b.per_thread_seconds
+
+    def test_falls_back_to_lru_on_zero_footprint(self):
+        """Traces violating reuse preconditions use the oracle replay."""
+        specs = [LoopSpecs(0, 2, 1), LoopSpecs(0, 2, 1)]
+
+        def weird(ind):
+            # a zero-cost marker access: footprint stays 0 only if nbytes
+            # is 0, which the reuse path must refuse and LRU must accept
+            return BodyEvent(accesses=(Access(("m", tuple(ind)), 0),),
+                             flops=1.0)
+
+        loop = ThreadedLoop(specs, "ab", num_threads=1)
+        a = predict(loop, weird, SPR)
+        b = predict(loop, weird, SPR, trace_cache=TraceCache())
+        assert a.seconds == b.seconds
+        assert a.per_thread_seconds == b.per_thread_seconds
+
+
+class TestCompiledTrace:
+    def test_round_trip_fields(self):
+        specs, body = _gemm_workload()
+        loop = ThreadedLoop(specs, "bca", num_threads=2)
+        raw = TraceCache().thread_trace(loop, body, 0)
+        ct = compile_trace(raw)
+        assert isinstance(ct, CompiledTrace)
+        assert ct.n_events == len(raw.events)
+        assert ct.n_accesses == sum(len(e.accesses) for e in raw.events)
+        assert ct.total_flops == raw.flops
+        # interning is first-appearance order and invertible
+        flat = [a.key for e in raw.events for a in e.accesses]
+        assert [ct.keys[i] for i in ct.key_ids] == flat
+
+    def test_empty_trace(self):
+        ct = compile_trace(ThreadTrace(3))
+        assert ct.n_accesses == 0 and ct.n_events == 0
+        assert ct.total_flops == 0.0
+
+
+class TestEngineWithCache:
+    def test_simulate_identical_with_trace_cache(self):
+        specs, body = _gemm_workload()
+        for spec in ("bCa", "bca @ schedule(dynamic, 1)"):
+            loop = ThreadedLoop(specs, spec, num_threads=4)
+            a = simulate(loop, body, SPR)
+            b = simulate(loop, body, SPR, trace_cache=TraceCache())
+            assert a == b

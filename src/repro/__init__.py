@@ -22,7 +22,10 @@ Architectures"* (Georganas et al., IPDPS 2024):
   HF/IPEX stacks, DeepSparse);
 * :mod:`repro.serve` — LLM inference serving: synthetic traffic,
   continuous batching, paged KV-cache pool, SLO-aware scheduling over
-  the same cost substrate.
+  the same cost substrate;
+* :mod:`repro.verify` — nest verification: static race detection over
+  tensor-slice traces, iteration-space coverage proofs, and a seeded
+  differential spec fuzzer.
 """
 
 from .core import LoopSpecs, SpecError, ThreadedLoop
@@ -33,6 +36,8 @@ from .serve import ServeSimulator, TrafficGenerator
 from .simulator import predict, simulate
 from .tpp import BCSCMatrix, BRGemmTPP, DType, Precision, Ptr
 from .tuner import TuningConstraints, generate_candidates, search
+from .verify import (check_coverage, detect_races, run_fuzz, verify_nest,
+                     VerificationError)
 
 __version__ = "1.0.0"
 
@@ -45,5 +50,7 @@ __all__ = [
     "simulate", "predict",
     "ServeSimulator", "TrafficGenerator",
     "TuningConstraints", "generate_candidates", "search",
+    "verify_nest", "detect_races", "check_coverage", "run_fuzz",
+    "VerificationError",
     "__version__",
 ]

@@ -5,7 +5,7 @@ from .cache import NestCache, global_nest_cache
 from .codegen import GeneratedNest, compile_nest, generate_source
 from .errors import (DeadlockError, ExecutionError, ParlooperError,
                      ServeConfigError, ServeError, SpecError,
-                     StepBudgetError)
+                     StepBudgetError, VerificationError)
 from .loop_spec import LoopSpecs
 from .parser import LoopToken, ParsedSpec, parse_spec_string
 from .plan import LoopLevel, LoopNestPlan, build_plan
@@ -14,7 +14,7 @@ from .threaded_loop import ThreadedLoop, default_num_threads
 
 __all__ = [
     "LoopSpecs", "ThreadedLoop", "default_num_threads",
-    "ParlooperError", "SpecError", "ExecutionError",
+    "ParlooperError", "SpecError", "ExecutionError", "VerificationError",
     "ServeError", "ServeConfigError", "DeadlockError", "StepBudgetError",
     "LoopToken", "ParsedSpec", "parse_spec_string",
     "LoopLevel", "LoopNestPlan", "build_plan",

@@ -239,4 +239,9 @@ def compile_source(source: str, plan: LoopNestPlan,
         raise SpecError(
             f"internal codegen error for {plan.spec_string!r}: {exc}\n"
             f"{source}") from exc
-    return GeneratedNest(namespace[func_name], source, plan)
+    func = namespace[func_name]
+    # the generated nest bakes its PAR-MODE-2 decomposition in as literals;
+    # stamp it on the callable so the runtime can reject a caller whose
+    # nthreads/grid combination contradicts what the code will execute
+    func._parlooper_grid = plan.grid_shape
+    return GeneratedNest(func, source, plan)

@@ -8,7 +8,7 @@ guard constructor inputs with ``except ValueError`` keep working.
 """
 
 __all__ = [
-    "ParlooperError", "SpecError", "ExecutionError",
+    "ParlooperError", "SpecError", "ExecutionError", "VerificationError",
     "ServeError", "ServeConfigError", "DeadlockError", "StepBudgetError",
 ]
 
@@ -23,11 +23,64 @@ class SpecError(ParlooperError):
     Raised for grammar violations (RULE 1 / RULE 2 of §II-B), imperfect
     blocking chains, out-of-range loop mnemonics, or thread-grid shapes
     that do not match the available thread count.
+
+    When the offending construct can be located in the spec string, the
+    error carries ``spec`` (the full string) and ``span`` (a half-open
+    ``(start, end)`` character range into it); ``str()`` then renders a
+    caret line under the offending characters::
+
+        unexpected character '+' at position 1 in 'a+b'
+          a+b
+           ^
     """
+
+    def __init__(self, message: str, *, spec: str | None = None,
+                 span: tuple | None = None):
+        super().__init__(message)
+        self.spec = spec
+        self.span = (int(span[0]), int(span[1])) if span is not None else None
+
+    def render_caret(self) -> str:
+        """The two-line ``spec`` + caret rendering ('' without a span)."""
+        if self.spec is None or self.span is None:
+            return ""
+        start, end = self.span
+        start = max(0, min(start, len(self.spec)))
+        end = max(start + 1, min(end, len(self.spec) + 1))
+        return f"  {self.spec}\n  " + " " * start + "^" * (end - start)
+
+    def __str__(self) -> str:
+        base = self.args[0] if self.args else ""
+        caret = self.render_caret()
+        return f"{base}\n{caret}" if caret else base
 
 
 class ExecutionError(ParlooperError):
-    """Runtime failure while executing a generated loop nest."""
+    """Runtime failure while executing a generated loop nest.
+
+    ``failures`` collects every per-thread failure of a
+    ``execution="threads"`` run as ``(tid, exception)`` pairs, sorted by
+    tid.  The message names the *root cause*: aborting the shared barrier
+    makes innocent threads die with ``BrokenBarrierError``, so the first
+    non-barrier exception is preferred over whichever thread happened to
+    report first.
+    """
+
+    def __init__(self, message: str, failures=()):
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+
+class VerificationError(ParlooperError):
+    """A nest failed static/differential verification (`repro.verify`).
+
+    ``reports`` holds the typed diagnostics — :class:`RaceReport`s and/or
+    a :class:`CoverageReport` — that made verification fail.
+    """
+
+    def __init__(self, message: str, reports=()):
+        super().__init__(message)
+        self.reports = tuple(reports)
 
 
 class ServeError(ParlooperError):

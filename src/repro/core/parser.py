@@ -46,6 +46,9 @@ class LoopToken:
     grid_axis: str | None = None   # 'R' | 'C' | 'D' for PAR-MODE 2
     grid_ways: int = 0
     barrier_after: bool = False
+    #: half-open character range of this token (letter + grid annotation)
+    #: in the *original* spec string — diagnostics point back into it
+    span: tuple = (0, 1)
 
     @property
     def index(self) -> int:
@@ -61,6 +64,8 @@ class ParsedSpec:
     directives: str = ""
     schedule: str = "static"
     chunk: int = 0              # 0 = runtime default
+    #: the original spec string (diagnostic spans index into it)
+    spec: str = ""
 
     @property
     def par_mode(self) -> int:
@@ -91,7 +96,8 @@ class ParsedSpec:
             if t.grid_axis:
                 if t.grid_axis in shape:
                     raise SpecError(
-                        f"grid axis {t.grid_axis} used by more than one loop")
+                        f"grid axis {t.grid_axis} used by more than one loop",
+                        spec=self.spec, span=t.span)
                 shape[t.grid_axis] = t.grid_ways
         return shape
 
@@ -118,17 +124,23 @@ class ParsedSpec:
 
 
 def parse_spec_string(spec: str, num_loops: int) -> ParsedSpec:
-    """Parse and validate a loop_spec_string for *num_loops* logical loops."""
+    """Parse and validate a loop_spec_string for *num_loops* logical loops.
+
+    Grammar violations raise :class:`SpecError` carrying the offending
+    character ``span`` whenever the construct can be located, so the
+    message renders a caret under it.
+    """
     if not isinstance(spec, str) or not spec.strip():
         raise SpecError("loop_spec_string must be a non-empty string")
     if num_loops < 1 or num_loops > 26:
         raise SpecError(f"number of logical loops must be 1..26, got {num_loops}")
 
-    body, _, directives = spec.partition("@")
-    directives = directives.strip()
-    body = body.strip()
-    if not body:
-        raise SpecError(f"no loop characters before '@' in {spec!r}")
+    at = spec.find("@")
+    body_end = at if at >= 0 else len(spec)
+    directives = spec[at + 1:].strip() if at >= 0 else ""
+    if not spec[:body_end].strip():
+        raise SpecError(f"no loop characters before '@' in {spec!r}",
+                        spec=spec, span=(0, max(1, at)))
 
     schedule, chunk = "static", 0
     if directives:
@@ -144,46 +156,53 @@ def parse_spec_string(spec: str, num_loops: int) -> ParsedSpec:
     i = 0
     position = 0
     max_char = chr(ord("a") + num_loops - 1)
-    while i < len(body):
-        ch = body[i]
+    while i < body_end:
+        ch = spec[i]
         if ch.isspace():
             i += 1
             continue
         if not ch.isalpha():
             raise SpecError(
-                f"unexpected character {ch!r} at position {i} in {spec!r}")
+                f"unexpected character {ch!r} at position {i} in {spec!r}",
+                spec=spec, span=(i, i + 1))
         lower = ch.lower()
         if lower > max_char:
             raise SpecError(
                 f"loop mnemonic {ch!r} exceeds the {num_loops} declared "
-                f"loops (valid range: 'a'..'{max_char}')")
+                f"loops (valid range: 'a'..'{max_char}')",
+                spec=spec, span=(i, i + 1))
         parallel = ch.isupper()
+        start = i
         i += 1
         grid_axis, grid_ways = None, 0
-        if i < len(body) and body[i] == "{":
-            m = _GRID_RE.match(body, i)
+        if i < body_end and spec[i] == "{":
+            m = _GRID_RE.match(spec, i, body_end)
             if not m:
+                close = spec.find("}", i, body_end)
                 raise SpecError(
                     f"malformed grid annotation at position {i} in {spec!r} "
-                    "(expected '{R:<ways>}', '{C:<ways>}' or '{D:<ways>}')")
+                    "(expected '{R:<ways>}', '{C:<ways>}' or '{D:<ways>}')",
+                    spec=spec, span=(i, close + 1 if close >= 0 else i + 1))
             if not parallel:
                 raise SpecError(
                     f"grid annotation on lower-case loop {ch!r}: explicit "
-                    "decompositions require an upper-case (parallel) loop")
+                    "decompositions require an upper-case (parallel) loop",
+                    spec=spec, span=(start, m.end()))
             grid_axis = m.group(1)
             grid_ways = int(m.group(2))
             if grid_ways <= 0:
-                raise SpecError(f"grid ways must be positive in {spec!r}")
+                raise SpecError(f"grid ways must be positive in {spec!r}",
+                                spec=spec, span=m.span(2))
             i = m.end()
         barrier = False
-        if i < len(body) and body[i] == "|":
+        if i < body_end and spec[i] == "|":
             barrier = True
             i += 1
         tokens.append(LoopToken(lower, position, parallel, grid_axis,
-                                grid_ways, barrier))
+                                grid_ways, barrier, span=(start, i)))
         position += 1
 
-    parsed = ParsedSpec(tuple(tokens), directives, schedule, chunk)
+    parsed = ParsedSpec(tuple(tokens), directives, schedule, chunk, spec)
 
     # every declared loop must appear at least once
     present = {t.char for t in tokens}
@@ -191,15 +210,18 @@ def parse_spec_string(spec: str, num_loops: int) -> ParsedSpec:
         ch = chr(ord("a") + li)
         if ch not in present:
             raise SpecError(
-                f"logical loop {ch!r} is declared but missing from {spec!r}")
+                f"logical loop {ch!r} is declared but missing from {spec!r}",
+                spec=spec, span=(0, body_end))
 
     # PAR-MODE consistency: either all parallel loops carry grids or none do
     par = [t for t in tokens if t.parallel]
     gridded = [t for t in par if t.grid_axis]
     if gridded and len(gridded) != len(par):
+        bare = next(t for t in par if not t.grid_axis)
         raise SpecError(
             "mixing OpenMP-style and explicit-grid parallel loops in one "
-            f"spec string is not supported: {spec!r}")
+            f"spec string is not supported: {spec!r}",
+            spec=spec, span=bare.span)
     if gridded:
         axes = [t.grid_axis for t in gridded]
         # grid axes must be used in R (, C (, D)) order
@@ -207,10 +229,12 @@ def parse_spec_string(spec: str, num_loops: int) -> ParsedSpec:
         if sorted(axes) != sorted(expected):
             raise SpecError(
                 f"grid axes {axes} must be exactly {expected} for a "
-                f"{len(axes)}D decomposition")
+                f"{len(axes)}D decomposition",
+                spec=spec, span=gridded[0].span)
         parsed.grid_shape  # raises on duplicate axes
         if len(gridded) > 3:
-            raise SpecError("at most 3D thread decompositions are supported")
+            raise SpecError("at most 3D thread decompositions are supported",
+                            spec=spec, span=gridded[3].span)
 
     # PAR-MODE 1 requires one contiguous run of capitalized characters:
     # "If the user intends to parallelize multiple loops, the
@@ -218,10 +242,12 @@ def parse_spec_string(spec: str, num_loops: int) -> ParsedSpec:
     # (§II-B) — nested worksharing regions are not closely nested in
     # OpenMP and would under-cover the iteration space.
     if not gridded and len(parsed.collapse_groups()) > 1:
+        second = parsed.collapse_groups()[1][0]
         raise SpecError(
             f"capitalized loops must be consecutive in {spec!r} (nested "
             "worksharing regions are not supported); use a grid "
-            "decomposition for multi-level parallelism")
+            "decomposition for multi-level parallelism",
+            spec=spec, span=tokens[second].span)
 
     # a loop may be parallelized at most once (its iterations are
     # distributed once; re-parallelizing a blocked occurrence of the same
@@ -229,7 +255,10 @@ def parse_spec_string(spec: str, num_loops: int) -> ParsedSpec:
     par_chars = [t.char for t in par]
     dup = {c for c in par_chars if par_chars.count(c) > 1}
     if dup:
+        worst = sorted(dup)[0]
+        second = [t for t in par if t.char == worst][1]
         raise SpecError(
-            f"loop(s) {sorted(dup)} parallelized more than once in {spec!r}")
+            f"loop(s) {sorted(dup)} parallelized more than once in {spec!r}",
+            spec=spec, span=second.span)
 
     return parsed

@@ -94,14 +94,20 @@ def build_plan(specs, spec_string: str) -> LoopNestPlan:
     occ_counter: dict[str, int] = {}
     steps_of: dict[str, list] = {}
     for char in parsed.loop_chars:
-        n_occ = len(parsed.occurrences(char))
+        occs = parsed.occurrences(char)
         spec = specs[ord(char) - ord("a")]
-        steps = spec.steps_for(n_occ)
+        try:
+            steps = spec.steps_for(len(occs))
+        except SpecError as exc:
+            # re-point the declaration error at the over-blocked mnemonic
+            raise SpecError(f"loop {char!r}: {exc.args[0]}",
+                            spec=spec_string, span=occs[-1].span) from exc
         span = spec.bound - spec.start
         if span % steps[0] != 0:
             raise SpecError(
                 f"loop {char!r}: span {span} is not a multiple of its "
-                f"outermost step {steps[0]} (POC requires perfect nesting)")
+                f"outermost step {steps[0]} (POC requires perfect nesting)",
+                spec=spec_string, span=occs[0].span)
         steps_of[char] = steps
 
     levels = []
@@ -130,11 +136,12 @@ def build_plan(specs, spec_string: str) -> LoopNestPlan:
     # PAR-MODE 2 sanity: ways must not exceed the loop's trip count at
     # that level, or some grid coordinates would idle with zero work —
     # allowed by OpenMP but almost certainly a spec mistake.
-    for lv in levels:
+    for lv, tok in zip(levels, parsed.tokens):
         if lv.grid_axis:
             trips = lv.outer_step // lv.step
             if lv.grid_ways > trips:
                 raise SpecError(
                     f"loop {lv.char!r} parallelized {lv.grid_ways}-ways but "
-                    f"has only {trips} iterations at that level")
+                    f"has only {trips} iterations at that level",
+                    spec=spec_string, span=tok.span)
     return plan

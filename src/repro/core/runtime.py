@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 
-from .errors import ExecutionError
+from .errors import ExecutionError, SpecError
 
 __all__ = ["NestContext", "run_nest", "EXECUTION_MODES"]
 
@@ -75,18 +75,37 @@ def run_nest(nest_func, nthreads: int, body_func, init_func=None,
         raise ExecutionError(f"nthreads must be positive, got {nthreads}")
 
     gr, gc, gd = grid
+    # a nest generated for an explicit {R:n}/{C:n}/{D:n} decomposition has
+    # its grid baked in as literals — a caller passing the default
+    # grid=(1,1,1) with a mismatched nthreads would silently under- or
+    # over-cover the iteration space (extra tids decode to empty ranges)
+    declared = getattr(nest_func, "_parlooper_grid", None)
+    if declared is not None and tuple(declared) != (1, 1, 1):
+        dr, dc, dd = declared
+        need = dr * dc * dd
+        if (gr, gc, gd) == (1, 1, 1):
+            if nthreads != need:
+                raise SpecError(
+                    f"nest was generated for a {dr}x{dc}x{dd} thread grid "
+                    f"({need} threads) but run_nest got nthreads={nthreads} "
+                    "with the default grid=(1, 1, 1)")
+            gr, gc, gd = dr, dc, dd   # adopt the declared decomposition
+        elif (gr, gc, gd) != (dr, dc, dd):
+            raise SpecError(
+                f"nest was generated for a {dr}x{dc}x{dd} thread grid but "
+                f"run_nest got grid={grid}")
     if gr * gc * gd != nthreads and (gr, gc, gd) != (1, 1, 1):
         raise ExecutionError(
-            f"thread grid {grid} requires {gr * gc * gd} threads but "
-            f"{nthreads} were provided")
+            f"thread grid {(gr, gc, gd)} requires {gr * gc * gd} threads "
+            f"but {nthreads} were provided")
 
     if execution == "serial":
-        ctx = NestContext(nthreads, grid, use_real_barrier=False)
+        ctx = NestContext(nthreads, (gr, gc, gd), use_real_barrier=False)
         for tid in range(nthreads):
             nest_func(tid, nthreads, body_func, init_func, term_func, ctx)
         return
 
-    ctx = NestContext(nthreads, grid, use_real_barrier=True)
+    ctx = NestContext(nthreads, (gr, gc, gd), use_real_barrier=True)
     errors: list = []
     err_lock = threading.Lock()
 
@@ -107,6 +126,14 @@ def run_nest(nest_func, nthreads: int, body_func, init_func=None,
     for t in threads:
         t.join()
     if errors:
-        tid, exc = errors[0]
+        # aborting the barrier makes bystander threads die with
+        # BrokenBarrierError; whichever thread *reported* first is a race
+        # artifact — name the first genuine failure as the root cause and
+        # attach every per-thread failure for diagnosis
+        errors.sort(key=lambda pair: pair[0])
+        roots = [(tid, exc) for tid, exc in errors
+                 if not isinstance(exc, threading.BrokenBarrierError)]
+        tid, exc = (roots or errors)[0]
         raise ExecutionError(
-            f"thread {tid} failed inside the generated nest: {exc}") from exc
+            f"thread {tid} failed inside the generated nest: {exc}",
+            failures=tuple(errors)) from exc

@@ -20,8 +20,8 @@ from ..core.plan import LoopNestPlan
 from ..core.runtime import NestContext
 from ..core.threaded_loop import ThreadedLoop
 
-__all__ = ["Access", "BodyEvent", "ThreadTrace", "trace_threaded_loop",
-           "trace_flat"]
+__all__ = ["Access", "BodyEvent", "BarrierMarker", "ChunkMarker",
+           "ThreadTrace", "trace_threaded_loop", "trace_flat"]
 
 
 @dataclass(frozen=True)
@@ -58,11 +58,44 @@ class BodyEvent:
     flops_per_cycle: float = 1.0
     #: extra fixed cycles (e.g. kernel call overhead)
     extra_cycles: float = 0.0
+    #: logical indices of the invocation that produced this event; only
+    #: populated by ``trace_threaded_loop(..., record_inds=True)`` (the
+    #: verification path) — perf replay never reads it
+    ind: tuple = ()
 
     def compute_cycles(self) -> float:
         if self.flops <= 0:
             return self.extra_cycles
         return self.flops / max(self.flops_per_cycle, 1e-9) + self.extra_cycles
+
+
+@dataclass(frozen=True)
+class BarrierMarker:
+    """A ``|`` barrier crossing recorded inside a verification trace.
+
+    Barriers delimit *epochs*: accesses of different threads are ordered
+    across a barrier and concurrent within one.  Only traces captured
+    with ``record_barriers=True`` contain markers — the performance
+    replay paths never see them.
+    """
+
+    ordinal: int           # how many barriers this thread crossed before
+
+
+@dataclass(frozen=True)
+class ChunkMarker:
+    """A dynamic-schedule worksharing grant recorded in a verification trace.
+
+    ``region`` is the ``(group_id, epoch)`` key of the worksharing region
+    and ``bounds`` the granted ``(start, end)`` flat-iteration range —
+    ``None`` bounds mark the region's exhaustion (the thread leaves the
+    region).  Under ``schedule(dynamic)`` any two distinct chunks of a
+    region may land on different OS threads, so the race detector treats
+    each chunk as its own concurrency unit.
+    """
+
+    region: tuple
+    bounds: tuple | None
 
 
 @dataclass
@@ -78,8 +111,10 @@ class ThreadTrace:
         return len(self.events)
 
 
-def trace_threaded_loop(loop: ThreadedLoop, sim_body,
-                        tids=None) -> list:
+def trace_threaded_loop(loop: ThreadedLoop, sim_body, tids=None,
+                        record_barriers: bool = False,
+                        record_chunks: bool = False,
+                        record_inds: bool = False) -> list:
     """Per-thread traces of a ThreadedLoop under its current spec string.
 
     ``sim_body(ind) -> BodyEvent | list[BodyEvent] | None`` describes the
@@ -89,21 +124,40 @@ def trace_threaded_loop(loop: ThreadedLoop, sim_body,
     Dynamic schedules are traced with their worksharing *chunks* dealt
     round-robin (a fair proxy for runtime self-scheduling: simulated
     greedy assignment happens later in the engine).
+
+    The ``record_*`` flags serve the :mod:`repro.verify` subsystem and all
+    default off so the performance-replay and memoization paths see plain
+    :class:`BodyEvent` streams:
+
+    * ``record_barriers`` interleaves :class:`BarrierMarker`\\ s into the
+      event list at every ``|`` crossing (epoch boundaries);
+    * ``record_chunks`` interleaves :class:`ChunkMarker`\\ s at every
+      dynamic-schedule grant (chunk-granularity concurrency units);
+    * ``record_inds`` stamps each event's ``ind`` with the logical loop
+      indices of its invocation.
     """
     tid_list = list(range(loop.num_threads)) if tids is None else list(tids)
     traces = [ThreadTrace(tid) for tid in tid_list]
     nest = loop._nest.func
     for trace_slot, tid in enumerate(tid_list):
-        ctx = _TracingContext(loop.num_threads, loop.plan.grid_shape, tid)
         events = traces[trace_slot].events
+        ctx = _TracingContext(
+            loop.num_threads, loop.plan.grid_shape, tid,
+            on_barrier=events.append if record_barriers else None,
+            on_chunk=events.append if record_chunks else None)
 
         def body(ind, _events=events):
             ev = sim_body(list(ind))
             if ev is None:
                 return
             if isinstance(ev, BodyEvent):
+                if record_inds:
+                    ev.ind = tuple(ind)
                 _events.append(ev)
             else:
+                if record_inds:
+                    for e in ev:
+                        e.ind = tuple(ind)
                 _events.extend(ev)
 
         nest(tid, loop.num_threads, body, None, None, ctx)
@@ -160,16 +214,30 @@ class _TracingContext(NestContext):
     exactly once across threads.
     """
 
-    def __init__(self, nthreads, grid, tid):
+    def __init__(self, nthreads, grid, tid, on_barrier=None, on_chunk=None):
         super().__init__(nthreads, grid, use_real_barrier=False)
         self._tid = tid
         self._round: dict = {}
+        self._on_barrier = on_barrier
+        self._on_chunk = on_chunk
+        self._barriers_crossed = 0
+
+    def barrier(self) -> None:
+        if self._on_barrier is not None:
+            self._on_barrier(BarrierMarker(self._barriers_crossed))
+        self._barriers_crossed += 1
+        super().barrier()
 
     def next_chunk(self, group_id, epoch, total, chunk):
         key = (group_id, epoch)
         i = self._round.get(key, self._tid)  # thread's first chunk index
         if i * chunk >= total:
             self._round.pop(key, None)
+            if self._on_chunk is not None:
+                self._on_chunk(ChunkMarker(key, None))
             return None
         self._round[key] = i + self.nthreads
-        return (i * chunk, min((i + 1) * chunk, total))
+        bounds = (i * chunk, min((i + 1) * chunk, total))
+        if self._on_chunk is not None:
+            self._on_chunk(ChunkMarker(key, bounds))
+        return bounds

@@ -4,14 +4,15 @@ offline candidate search (Fig 1 Box B2, §II-D)."""
 from .constraints import TuningConstraints, prefix_products, prime_factors
 from .evalcache import EvalCache
 from .generator import Candidate, generate_candidates
-from .search import (SearchFailure, SearchResult, TuneOutcome,
-                     engine_evaluator, perfmodel_evaluator, search)
+from .search import (RacyCandidate, SearchFailure, SearchResult, TuneOutcome,
+                     engine_evaluator, perfmodel_evaluator, race_verifier,
+                     search)
 from .timing import TuningCost
 
 __all__ = [
     "TuningConstraints", "prime_factors", "prefix_products",
     "Candidate", "generate_candidates",
-    "TuneOutcome", "SearchResult", "SearchFailure", "search",
-    "perfmodel_evaluator", "engine_evaluator",
+    "TuneOutcome", "SearchResult", "SearchFailure", "RacyCandidate",
+    "search", "perfmodel_evaluator", "engine_evaluator", "race_verifier",
     "EvalCache", "TuningCost",
 ]

@@ -14,6 +14,7 @@ import itertools
 import random
 from dataclasses import dataclass, replace
 
+from ..core.errors import ExecutionError, SpecError
 from ..core.loop_spec import LoopSpecs
 from ..core.threaded_loop import ThreadedLoop
 from .constraints import TuningConstraints, prefix_products
@@ -80,12 +81,20 @@ def _capitalizations(counts: dict, constraints: TuningConstraints) -> list:
     return choices
 
 
-def generate_candidates(base_specs, constraints: TuningConstraints) -> list:
+def generate_candidates(base_specs, constraints: TuningConstraints,
+                        verify=None) -> list:
     """Enumerate candidates; subsample to ``max_candidates`` if needed.
 
     The full space is (blocking options per loop) x (multiset
     permutations) x (capitalization choices) x (schedules); the paper's
     infrastructure enumerates the same axes with bash scripts.
+
+    ``verify=`` takes a callable (candidate -> race reports, e.g.
+    :func:`~repro.tuner.search.race_verifier`); candidates it flags are
+    dropped at generation time, so racy spec strings never consume the
+    ``max_candidates`` budget or an evaluator slot.  Candidates the
+    verifier cannot build (invalid for these bounds) are kept — the
+    search reports those as ordinary skips.
     """
     chars = [chr(ord("a") + i) for i in range(len(base_specs))]
     per_loop = []
@@ -128,7 +137,14 @@ def generate_candidates(base_specs, constraints: TuningConstraints) -> list:
                     if key in seen:
                         continue
                     seen.add(key)
-                    out.append(Candidate(s, blocks))
+                    cand = Candidate(s, blocks)
+                    if verify is not None:
+                        try:
+                            if verify(cand):
+                                continue
+                        except (SpecError, ExecutionError):
+                            pass
+                    out.append(cand)
                     if budget is not None and len(out) >= budget:
                         return out
     return out

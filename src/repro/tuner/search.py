@@ -30,8 +30,9 @@ from ..simulator.engine import simulate
 from ..simulator.perfmodel import predict
 from .generator import Candidate
 
-__all__ = ["TuneOutcome", "SearchResult", "SearchFailure", "search",
-           "perfmodel_evaluator", "engine_evaluator"]
+__all__ = ["TuneOutcome", "SearchResult", "SearchFailure", "RacyCandidate",
+           "search", "perfmodel_evaluator", "engine_evaluator",
+           "race_verifier"]
 
 
 @dataclass(frozen=True)
@@ -54,6 +55,18 @@ class SearchFailure:
 
 
 @dataclass(frozen=True)
+class RacyCandidate:
+    """A candidate excluded by verification, with its race diagnostics."""
+
+    candidate: Candidate
+    reports: tuple            # tuple[repro.verify.races.RaceReport]
+
+    def describe(self) -> str:
+        return f"{self.candidate.label()}: " + \
+            "; ".join(str(r) for r in self.reports)
+
+
+@dataclass(frozen=True)
 class SearchResult:
     """Ranked tuning outcomes plus the cost of the search itself."""
 
@@ -65,6 +78,8 @@ class SearchResult:
     failures: tuple = ()
     #: candidates dropped by the successive-halving screen stage
     pruned: int = 0
+    #: candidates excluded by ``verify=`` (one :class:`RacyCandidate` each)
+    racy: tuple = ()
 
     @property
     def best(self) -> TuneOutcome:
@@ -74,6 +89,24 @@ class SearchResult:
 
     def top(self, k: int) -> tuple:
         return self.outcomes[:k]
+
+
+def race_verifier(base_specs, sim_body, num_threads: int | None = None):
+    """A ``verify=``-compatible callable: candidate -> race reports.
+
+    Builds each candidate's loop and runs
+    :func:`repro.verify.races.detect_races` over the kernel's simulator
+    description — the same traces the evaluators replay for performance,
+    consumed here for correctness.
+    """
+    from ..verify.races import detect_races  # deferred: avoids an import
+    # cycle (repro.verify.fuzz uses tuner.constraints)
+
+    def verifier(candidate: Candidate) -> list:
+        loop = candidate.build_loop(base_specs, num_threads=num_threads,
+                                    execution="threads")
+        return detect_races(loop, sim_body)
+    return verifier
 
 
 def perfmodel_evaluator(base_specs, sim_body, machine: MachineModel,
@@ -96,6 +129,7 @@ def perfmodel_evaluator(base_specs, sim_body, machine: MachineModel,
                        total_flops=total_flops,
                        trace_cache=trace_cache)
         return TuneOutcome(candidate, pred.score, pred.seconds)
+    evaluate.verifier = race_verifier(base_specs, sim_body, num_threads)
     return evaluate
 
 
@@ -106,17 +140,26 @@ def engine_evaluator(base_specs, sim_body, machine: MachineModel,
         loop = candidate.build_loop(base_specs, num_threads=num_threads)
         res = simulate(loop, sim_body, machine, trace_cache=trace_cache)
         return TuneOutcome(candidate, res.gflops, res.seconds)
+    evaluate.verifier = race_verifier(base_specs, sim_body, num_threads)
     return evaluate
 
 
 def search(candidates, evaluator, top_k: int | None = None,
            workers: int | None = None, screen=None,
-           screen_keep: float = 0.5) -> SearchResult:
+           screen_keep: float = 0.5, verify=False) -> SearchResult:
     """Evaluate candidates, skipping ones invalid for these loop bounds
     (imperfect blocking chains etc.) or whose evaluation fails at
     runtime, and rank by score.  A poisoned candidate is recorded as an
     invalid outcome — it never aborts the rest of the search; skipped
     candidates are reported in ``result.failures``.
+
+    ``verify=True`` runs the race detector over every candidate before
+    any evaluation, using the ``.verifier`` the stock evaluators carry
+    (:func:`race_verifier` under the hood); racy candidates are excluded
+    from the ranking and surfaced in ``result.racy`` with their
+    :class:`~repro.verify.races.RaceReport` diagnostics — an auto-tuner
+    must never recommend a spec that wins by corrupting C.  Pass a
+    callable (candidate -> reports) to verify with custom logic.
 
     ``workers=N`` evaluates chunks of candidates in N forked processes;
     chunking is deterministic and results are merged in candidate order,
@@ -137,6 +180,31 @@ def search(candidates, evaluator, top_k: int | None = None,
     failures: list = []
     skipped = 0
     pruned = 0
+    racy: list = []
+    verifier = None
+    if verify is True:
+        verifier = getattr(evaluator, "verifier", None)
+        if verifier is None:
+            raise ValueError(
+                "verify=True requires an evaluator carrying a .verifier "
+                "(perfmodel_evaluator/engine_evaluator) or an explicit "
+                "verify=<callable>")
+    elif callable(verify):
+        verifier = verify
+    if verifier is not None:
+        clean: list = []
+        for cand in candidates:
+            try:
+                reports = verifier(cand)
+            except (SpecError, ExecutionError):
+                # invalid for these bounds — let the evaluator record it
+                clean.append(cand)
+                continue
+            if reports:
+                racy.append(RacyCandidate(cand, tuple(reports)))
+            else:
+                clean.append(cand)
+        candidates = clean
     if screen is not None and len(candidates) > 1:
         screened = _evaluate(candidates, screen, workers)
         valid_idx = []
@@ -165,7 +233,7 @@ def search(candidates, evaluator, top_k: int | None = None,
     evaluated = sum(1 for o in outcomes if o.valid)
     return SearchResult(ranked, evaluated=evaluated, skipped=skipped,
                         wall_seconds=wall, failures=tuple(failures),
-                        pruned=pruned)
+                        pruned=pruned, racy=tuple(racy))
 
 
 def _safe_eval(evaluator, candidate: Candidate) -> TuneOutcome:

@@ -32,6 +32,11 @@ class TuningCost:
     pruned: int = 0
     #: per-skip diagnostics ("spec: error"), from ``SearchResult.failures``
     failure_reasons: tuple = ()
+    #: candidates excluded by ``search(verify=...)``
+    racy: int = 0
+    #: per-racy-candidate diagnostics, from ``SearchResult.racy`` (each a
+    #: "spec: RaceReport; ..." line)
+    race_reports: tuple = ()
 
     @classmethod
     def from_search(cls, result: SearchResult,
@@ -42,11 +47,13 @@ class TuningCost:
                     if o.valid and o.seconds != float("inf"))
         reasons = tuple(f"{f.candidate.spec_string}: {f.error}"
                         for f in result.failures)
+        races = tuple(rc.describe() for rc in result.racy)
         return cls(evaluated=result.evaluated, skipped=result.skipped,
                    wall_seconds=result.wall_seconds,
                    projected_bench_seconds=bench * repeats,
                    repeats=repeats, pruned=result.pruned,
-                   failure_reasons=reasons)
+                   failure_reasons=reasons,
+                   racy=len(result.racy), race_reports=races)
 
     @property
     def per_candidate_seconds(self) -> float:
@@ -63,8 +70,9 @@ class TuningCost:
 
     def describe(self) -> str:
         pruned = f", {self.pruned} pruned" if self.pruned else ""
+        racy = f", {self.racy} racy" if self.racy else ""
         return (f"{self.evaluated} candidates ({self.skipped} skipped"
-                f"{pruned}) | "
+                f"{pruned}{racy}) | "
                 f"harness {self.wall_seconds:.2f}s | projected bench "
                 f"{self.projected_bench_seconds:.2f}s @ {self.repeats} "
                 f"repeats")

@@ -1,0 +1,53 @@
+"""repro.verify — nest verification: races, coverage, differential fuzzing.
+
+PARLOOPER moves loop instantiation decisions into a runtime string; a
+one-character edit can parallelize a reduction (a data race), drop grid
+remainders (lost iterations), or misplace a barrier (a deadlock).  This
+subsystem proves a nest instantiation safe *statically*, from the same
+tensor-slice traces the performance simulator replays:
+
+* :func:`detect_races` — barrier-delimited epoch analysis over per-thread
+  traces; W-W / R-W conflicts and barrier hazards become typed
+  :class:`RaceReport` diagnostics naming the offending spec characters.
+* :func:`check_coverage` — proves the parallel nest's body-call multiset
+  equals the serial nest's (catches dropped/duplicated iterations).
+* :func:`run_fuzz` — seeded differential fuzzing of random valid and
+  near-valid specs across the shipped kernel families, with the two
+  analyses plus exact serial-vs-threads numerics as oracles.
+* :func:`verify_nest` — the one-line assertion for kernel tests.
+"""
+
+from ..core.errors import VerificationError
+from .coverage import CoverageReport, check_coverage
+from .fuzz import (FuzzFamily, FuzzResult, default_families, dump_failures,
+                   fuzz_family, run_fuzz)
+from .races import RaceReport, detect_races
+
+__all__ = [
+    "RaceReport", "detect_races",
+    "CoverageReport", "check_coverage",
+    "FuzzFamily", "FuzzResult", "default_families", "fuzz_family",
+    "run_fuzz", "dump_failures",
+    "VerificationError", "verify_nest",
+]
+
+
+def verify_nest(loop, sim_body=None) -> None:
+    """Assert that *loop*'s instantiation is safe; raise on any finding.
+
+    Always proves iteration-space coverage; when *sim_body* (the kernel's
+    simulator description) is given, also runs the race detector.  Raises
+    :class:`~repro.core.errors.VerificationError` carrying the offending
+    :class:`CoverageReport`/:class:`RaceReport` objects in ``.reports``.
+    """
+    reports: list = []
+    cov = check_coverage(loop)
+    if not cov.ok:
+        reports.append(cov)
+    if sim_body is not None:
+        reports.extend(detect_races(loop, sim_body))
+    if reports:
+        raise VerificationError(
+            f"nest verification failed for {loop.spec_string!r}:\n  " +
+            "\n  ".join(str(r) for r in reports),
+            reports=tuple(reports))

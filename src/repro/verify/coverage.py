@@ -1,0 +1,79 @@
+"""Iteration-space coverage proof for parallel nests.
+
+A correct instantiation of a loop nest — any blocking chain, ordering,
+collapse group, or ``{R:n}`` grid — must invoke the body on *exactly* the
+same multiset of logical index tuples as the serial reference nest.
+Dropped iterations (a grid remainder that clamps a coordinate to an empty
+range) and duplicated iterations (a bad blocking chain re-visiting a
+block) are silent wrong-answer bugs: no exception, just a wrong C.
+
+The check compares the parallel nest's body-call multiset, traced across
+all logical threads, against the serialized reference (lower-cased spec,
+grids and barriers stripped — the same normalization the simulator's
+``trace_flat`` uses).  Blocking structure is preserved by the
+serialization, so the two multisets are equal iff the parallel
+decomposition partitions the iteration space exactly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..core.threaded_loop import ThreadedLoop
+from ..simulator.trace import BodyEvent, _serialize_spec, \
+    trace_threaded_loop
+
+__all__ = ["CoverageReport", "check_coverage"]
+
+#: how many offending index tuples a report materializes per defect class
+MAX_EXAMPLES = 8
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Body-call multiset comparison: parallel nest vs serial reference."""
+
+    ok: bool
+    total_parallel: int       # body calls summed over all logical threads
+    total_serial: int         # body calls of the serialized reference
+    missing: tuple            # inds the parallel nest never visits (capped)
+    duplicated: tuple         # inds it visits more than the serial count
+    message: str = ""
+
+    def __str__(self) -> str:
+        return self.message
+
+
+def check_coverage(loop: ThreadedLoop) -> CoverageReport:
+    """Prove *loop*'s parallel body-call multiset equals the serial one."""
+    parallel: Counter = Counter()
+    for trace in trace_threaded_loop(loop, lambda ind: BodyEvent(()),
+                                     record_inds=True):
+        parallel.update(e.ind for e in trace.events)
+
+    serial_loop = ThreadedLoop(loop.specs, _serialize_spec(loop.spec_string),
+                               num_threads=1, cache=loop._cache)
+    serial: Counter = Counter()
+    serial_loop(lambda ind: serial.update((tuple(ind),)))
+
+    missing = sorted((serial - parallel).elements())
+    duplicated = sorted((parallel - serial).elements())
+    ok = not missing and not duplicated
+    if ok:
+        msg = (f"coverage ok: {sum(parallel.values())} body calls match "
+               f"the serial reference for {loop.spec_string!r}")
+    else:
+        parts = [f"coverage mismatch for {loop.spec_string!r}: parallel "
+                 f"nest makes {sum(parallel.values())} body calls, serial "
+                 f"reference makes {sum(serial.values())}"]
+        if missing:
+            parts.append(f"{len(missing)} dropped, e.g. "
+                         f"{[list(i) for i in missing[:MAX_EXAMPLES]]}")
+        if duplicated:
+            parts.append(f"{len(duplicated)} duplicated, e.g. "
+                         f"{[list(i) for i in duplicated[:MAX_EXAMPLES]]}")
+        msg = "; ".join(parts)
+    return CoverageReport(ok, sum(parallel.values()), sum(serial.values()),
+                          tuple(missing[:MAX_EXAMPLES]),
+                          tuple(duplicated[:MAX_EXAMPLES]), msg)

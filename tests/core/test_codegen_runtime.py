@@ -7,8 +7,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import (ExecutionError, LoopSpecs, NestContext, ThreadedLoop,
-                        build_plan, compile_nest, generate_source, run_nest)
+from repro.core import (ExecutionError, LoopSpecs, NestContext, SpecError,
+                        ThreadedLoop, build_plan, compile_nest,
+                        generate_source, run_nest)
 
 
 class TestGeneratedSource:
@@ -89,6 +90,85 @@ class TestThreadedExecution:
         nest = compile_nest(plan)
         with pytest.raises(ExecutionError):
             run_nest(nest.func, 3, lambda i: None, grid=(4, 1, 1))
+
+
+class TestDeclaredGridValidation:
+    """A nest compiled for an {R:n} grid carries it; run_nest must not let
+    the default grid=(1, 1, 1) silently mis-cover the iteration space."""
+
+    def test_grid_is_stamped_on_compiled_nest(self):
+        nest = compile_nest(build_plan([LoopSpecs(0, 8, 1)], "A{R:4}"))
+        assert nest.func._parlooper_grid == (4, 1, 1)
+
+    def test_default_grid_with_wrong_nthreads_rejected(self):
+        nest = compile_nest(build_plan([LoopSpecs(0, 8, 1)], "A{R:4}"))
+        with pytest.raises(SpecError, match="4x1x1 thread grid"):
+            run_nest(nest.func, 3, lambda i: None)  # grid left at (1, 1, 1)
+
+    def test_default_grid_with_matching_nthreads_adopts(self):
+        nest = compile_nest(build_plan([LoopSpecs(0, 8, 1)], "A{R:4}"))
+        seen = []
+        run_nest(nest.func, 4, lambda ind: seen.append(ind[0]))
+        assert sorted(seen) == list(range(8))
+
+    def test_conflicting_grid_rejected(self):
+        nest = compile_nest(build_plan(
+            [LoopSpecs(0, 8, 1), LoopSpecs(0, 8, 1)], "A{R:2}B{C:2}"))
+        with pytest.raises(SpecError, match="2x2x1 thread grid"):
+            run_nest(nest.func, 4, lambda i: None, grid=(4, 1, 1))
+
+    def test_ungridded_nest_unaffected(self):
+        nest = compile_nest(build_plan([LoopSpecs(0, 8, 1)], "A"))
+        seen = []
+        run_nest(nest.func, 3, lambda ind: seen.append(ind[0]))
+        assert sorted(seen) == list(range(8))
+
+
+class TestThreadsErrorAggregation:
+    """execution="threads" failure reporting: root cause over racy noise."""
+
+    SPECS = [LoopSpecs(0, 4, 1)]
+
+    def _run_failing(self):
+        loop = ThreadedLoop(self.SPECS, "A|", num_threads=4,
+                            execution="threads")
+
+        def body(ind):
+            if ind[0] == 2:
+                raise ValueError("boom at 2")
+
+        with pytest.raises(ExecutionError) as exc_info:
+            loop(body)
+        return exc_info.value
+
+    def test_root_cause_is_not_broken_barrier(self):
+        # thread 2 dies before its barrier; the other three die waiting on
+        # the aborted barrier — the message must blame thread 2, not
+        # whichever bystander reported first
+        err = self._run_failing()
+        assert "thread 2" in str(err) and "boom at 2" in str(err)
+        assert isinstance(err.__cause__, ValueError)
+
+    def test_all_per_thread_failures_attached(self):
+        err = self._run_failing()
+        assert [tid for tid, _ in err.failures] == [0, 1, 2, 3]
+        by_tid = dict(err.failures)
+        assert isinstance(by_tid[2], ValueError)
+        assert all(isinstance(by_tid[t], threading.BrokenBarrierError)
+                   for t in (0, 1, 3))
+
+    def test_failure_without_barrier_still_reported(self):
+        loop = ThreadedLoop(self.SPECS, "A", num_threads=4,
+                            execution="threads")
+
+        def body(ind):
+            raise RuntimeError(f"dead {ind[0]}")
+
+        with pytest.raises(ExecutionError) as exc_info:
+            loop(body)
+        err = exc_info.value
+        assert len(err.failures) == 4
+        assert all(isinstance(e, RuntimeError) for _, e in err.failures)
 
 
 class TestNestContext:

@@ -1,10 +1,11 @@
-"""The typed error taxonomy: hierarchy and snapshot plumbing."""
+"""The typed error taxonomy: hierarchy, snapshots, and caret rendering."""
 
 import pytest
 
+from repro.core import LoopSpecs, ThreadedLoop
 from repro.core.errors import (DeadlockError, ExecutionError, ParlooperError,
                                ServeConfigError, ServeError, SpecError,
-                               StepBudgetError)
+                               StepBudgetError, VerificationError)
 
 
 class TestHierarchy:
@@ -39,3 +40,54 @@ class TestSnapshots:
         with pytest.raises(ServeError) as exc_info:
             raise StepBudgetError("over budget", snapshot={"steps": 10})
         assert exc_info.value.snapshot["steps"] == 10
+
+
+class TestCaretRendering:
+    """Golden renderings of spanned SpecErrors."""
+
+    def test_golden_single_char(self):
+        err = SpecError("boom", spec="aBx", span=(2, 3))
+        assert str(err) == "boom\n  aBx\n    ^"
+
+    def test_golden_multi_char(self):
+        err = SpecError("bad grid", spec="aB{R:9}c", span=(2, 7))
+        assert str(err) == "bad grid\n  aB{R:9}c\n    ^^^^^"
+
+    def test_no_span_renders_plain(self):
+        err = SpecError("plain")
+        assert err.render_caret() == "" and str(err) == "plain"
+
+    def test_span_clamped_to_spec(self):
+        err = SpecError("off the end", spec="ab", span=(5, 9))
+        lines = str(err).splitlines()
+        assert lines[1] == "  ab"
+        assert lines[2].strip() == "^"
+
+    def test_parser_errors_carry_spans(self):
+        specs = [LoopSpecs(0, 4, 1), LoopSpecs(0, 4, 1)]
+        with pytest.raises(SpecError) as exc_info:
+            ThreadedLoop(specs, "a?b")
+        err = exc_info.value
+        assert err.spec == "a?b" and err.span == (1, 2)
+        assert str(err).endswith("  a?b\n   ^")
+
+    def test_undeclared_mnemonic_span(self):
+        with pytest.raises(SpecError) as exc_info:
+            ThreadedLoop([LoopSpecs(0, 4, 1)], "ab")
+        err = exc_info.value
+        assert err.spec == "ab" and err.span == (1, 2)
+
+
+class TestFailurePayloads:
+    def test_execution_error_failures_default_empty(self):
+        assert ExecutionError("boom").failures == ()
+
+    def test_execution_error_failures_tuple(self):
+        pairs = [(0, ValueError("a")), (1, RuntimeError("b"))]
+        err = ExecutionError("boom", failures=pairs)
+        assert err.failures == tuple(pairs)
+
+    def test_verification_error_reports(self):
+        err = VerificationError("bad nest", reports=("r1", "r2"))
+        assert err.reports == ("r1", "r2")
+        assert isinstance(err, ParlooperError)

@@ -282,3 +282,56 @@ class TestMissingBlockSteps:
         # span 6 with outer block step 4 is not perfectly nested
         with pytest.raises(SpecError, match="perfect"):
             ThreadedLoop([LoopSpecs(0, 6, 1, [4])], "aa", num_threads=1)
+
+
+class TestNextChunkEpochsUnderThreads:
+    """NestContext.next_chunk epoch semantics with real worker threads:
+    each (region, enclosing-indices) epoch has an independent counter, so
+    a re-encountered inner dynamic region restarts cleanly even while
+    threads race the shared lock."""
+
+    def test_racing_threads_partition_each_epoch(self):
+        import threading
+
+        from repro.core import NestContext
+
+        nthreads, total, chunk, epochs = 4, 23, 3, 5
+        ctx = NestContext(nthreads)
+        grabbed = {e: [] for e in range(epochs)}
+        lock = threading.Lock()
+
+        def worker():
+            for e in range(epochs):
+                while True:
+                    c = ctx.next_chunk(0, (e,), total, chunk)
+                    if c is None:
+                        break
+                    with lock:
+                        grabbed[e].append(c)
+
+        threads = [threading.Thread(target=worker) for _ in range(nthreads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for e in range(epochs):
+            covered = sorted(i for c in grabbed[e] for i in range(*c))
+            assert covered == list(range(total))  # disjoint and complete
+
+    def test_inner_dynamic_region_reencountered_with_threads(self):
+        import threading
+
+        specs = [LoopSpecs(0, 3, 1), LoopSpecs(0, 8, 1)]
+        loop = ThreadedLoop(specs, "aB @ schedule(dynamic, 1)",
+                            num_threads=4, execution="threads")
+        lock = threading.Lock()
+        seen = []
+
+        def body(ind):
+            with lock:
+                seen.append(tuple(ind))
+
+        loop(body)
+        # every outer iteration re-enters the inner worksharing region
+        # with a fresh epoch counter: exact coverage, no duplication
+        assert sorted(seen) == sorted(reference_space(specs))

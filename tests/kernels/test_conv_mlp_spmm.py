@@ -8,6 +8,7 @@ from repro.kernels import (ConvSpec, ParlooperConv, ParlooperMlp,
 from repro.platform import ADL, GVT3, SPR, ZEN4
 from repro.tpp import BCSCMatrix
 from repro.tpp.dtypes import DType
+from repro.verify import verify_nest
 
 
 def rand(*shape, seed=0):
@@ -34,6 +35,11 @@ class TestConvFunctional:
         conv = ParlooperConv(spec, bc=64, bk=64, w_step=4, num_threads=2)
         x, wt = rand(2, 64, 10, 10, seed=1), rand(64, 64, 3, 3, seed=2)
         assert np.allclose(conv.run(x, wt), naive_conv(x, wt), atol=1e-3)
+
+    def test_nest_verifies_race_free(self):
+        spec = ConvSpec(N=2, C=64, K=64, H=10, W=10, R=3, S=3)
+        conv = ParlooperConv(spec, bc=64, bk=64, w_step=4, num_threads=2)
+        verify_nest(conv.conv_loop, conv.sim_body(SPR))
 
     def test_1x1_conv(self):
         spec = ConvSpec(N=1, C=64, K=128, H=8, W=8, R=1, S=1)
@@ -110,6 +116,12 @@ class TestMlp:
             act = np.maximum(wf @ act + bi.reshape(-1, 1), 0)
         assert np.allclose(y, act, atol=1e-3)
 
+    def test_nest_verifies_race_free(self):
+        mlp = ParlooperMlp([128, 128], 64, bm=32, bn=32, bk=32,
+                           num_threads=2)
+        g = mlp.layers[0].gemm
+        verify_nest(g.gemm_loop, g.sim_body(SPR))
+
     def test_needs_two_sizes(self):
         with pytest.raises(ValueError):
             ParlooperMlp([128], 64)
@@ -159,6 +171,12 @@ class TestSpmm:
                            num_threads=2)
         b = rand(128, 64, seed=15)
         assert np.allclose(sp.run(b), a @ b, atol=1e-3)
+
+    def test_nest_verifies_race_free(self):
+        a = block_sparse(128, 128, 8, 8, 0.5, seed=14)
+        sp = ParlooperSpmm(BCSCMatrix.from_dense(a, 8, 8), 64, bn=32,
+                           num_threads=2)
+        verify_nest(sp.spmm_loop, sp.sim_body(SPR))
 
     def test_vnni_packed_path(self):
         a = block_sparse(64, 64, 8, 8, 0.5, seed=16)

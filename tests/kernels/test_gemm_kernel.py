@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.kernels import ParlooperGemm
 from repro.platform import SPR, ZEN4
 from repro.tpp.dtypes import DType
+from repro.verify import verify_nest
 
 
 def rand(*shape, seed=0):
@@ -29,6 +30,10 @@ class TestFunctional:
                           num_threads=4, block_steps=block_steps)
         a, b = rand(128, 128, seed=3), rand(128, 128, seed=4)
         assert np.allclose(g.run_flat(a, b), a @ b, atol=1e-3), spec
+
+    def test_nest_verifies_race_free(self):
+        g = ParlooperGemm(128, 96, 160, 32, 32, 32, num_threads=2)
+        verify_nest(g.gemm_loop, g.sim_body(SPR))
 
     def test_k_step_partial_reduction(self):
         g = ParlooperGemm(64, 64, 256, 32, 32, 32, k_step=2, num_threads=2)

@@ -232,3 +232,82 @@ class TestSearch:
         res = search(cands, perfmodel_evaluator(
             SPECS, _sim_body(ZEN4, DType.F32), ZEN4, num_threads=4))
         assert res.wall_seconds > 0
+
+
+VSPECS = [LoopSpecs(0, 4, 1), LoopSpecs(0, 4, 1), LoopSpecs(0, 4, 1)]
+
+
+def _reduction_body(machine, dtype):
+    # C[c][b] accumulates over loop a: parallelizing 'a' is a real race
+    def body(ind):
+        ia, ib, ic = ind
+        return brgemm_event(machine, dtype, 64, 64, 64, 1,
+                            [("A", ib, ia)], [("B", ic, ia)],
+                            ("C", ic, ib), beta=1.0,
+                            c_first_touch=(ia == 0))
+    return body
+
+
+class TestVerifiedSearch:
+    def _setup(self):
+        from repro.tuner import race_verifier
+        cons = TuningConstraints({"a": 1, "b": 1, "c": 1},
+                                 frozenset({"a", "b", "c"}),
+                                 max_candidates=None)
+        cands = generate_candidates(VSPECS, cons)
+        body = _reduction_body(ZEN4, DType.F32)
+        ev = perfmodel_evaluator(VSPECS, body, ZEN4, num_threads=4)
+        return cands, ev, race_verifier(VSPECS, body, num_threads=4)
+
+    def test_verify_excludes_racy_candidates(self):
+        cands, ev, _ = self._setup()
+        res = search(cands, ev, verify=True)
+        assert res.racy                       # 'A' candidates exist
+        racy_specs = {rc.candidate.spec_string for rc in res.racy}
+        ranked = {o.candidate.spec_string for o in res.outcomes}
+        assert ranked and ranked.isdisjoint(racy_specs)
+        # a racy candidate's diagnostics are real RaceReports
+        rep = res.racy[0].reports[0]
+        assert rep.kind in ("WW", "RW") and rep.tensor == "C"
+        assert "race" in res.racy[0].describe()
+
+    def test_verify_false_ranks_everything(self):
+        cands, ev, _ = self._setup()
+        res = search(cands, ev, verify=False)
+        assert res.racy == ()
+        assert res.evaluated == len(cands)
+
+    def test_verified_ranking_unchanged_for_clean_candidates(self):
+        cands, ev, _ = self._setup()
+        plain = search(cands, ev)
+        verified = search(cands, ev, verify=True)
+        racy_specs = {rc.candidate.spec_string for rc in verified.racy}
+        kept = [o.candidate.spec_string for o in plain.outcomes
+                if o.candidate.spec_string not in racy_specs]
+        assert [o.candidate.spec_string for o in verified.outcomes] == kept
+
+    def test_tuning_cost_surfaces_race_reports(self):
+        from repro.tuner import TuningCost
+        cands, ev, _ = self._setup()
+        res = search(cands, ev, verify=True)
+        cost = TuningCost.from_search(res)
+        assert cost.racy == len(res.racy) > 0
+        assert len(cost.race_reports) == cost.racy
+        assert f"{cost.racy} racy" in cost.describe()
+
+    def test_generator_verify_prunes_at_source(self):
+        _, _, verifier = self._setup()
+        cons = TuningConstraints({"a": 1, "b": 1, "c": 1},
+                                 frozenset({"a", "b", "c"}),
+                                 max_candidates=None)
+        unverified = generate_candidates(VSPECS, cons)
+        verified = generate_candidates(VSPECS, cons, verify=verifier)
+        assert 0 < len(verified) < len(unverified)
+        assert all(not verifier(c) for c in verified)
+
+    def test_verify_true_requires_verifier(self):
+        cands, _, _ = self._setup()
+        def bare(candidate):
+            raise AssertionError("unused")
+        with pytest.raises(ValueError, match="verifier"):
+            search(cands, bare, verify=True)

@@ -1,0 +1,81 @@
+"""Coverage checker: body-call multiset vs the serial reference."""
+
+import copy
+import types
+
+from repro.core import LoopSpecs, ThreadedLoop
+from repro.verify import CoverageReport, check_coverage
+
+SPECS = [LoopSpecs(0, 4, 1), LoopSpecs(0, 6, 1, [3]), LoopSpecs(0, 2, 1)]
+
+
+def make_loop(spec, num_threads=None):
+    return ThreadedLoop(SPECS, spec, num_threads=num_threads)
+
+
+class TestCleanCoverage:
+    def test_serial_spec(self):
+        rep = check_coverage(make_loop("abc"))
+        assert isinstance(rep, CoverageReport)
+        assert rep.ok and rep.total_parallel == rep.total_serial == 4 * 6 * 2
+
+    def test_parallel_collapse(self):
+        assert check_coverage(make_loop("ABc", num_threads=3)).ok
+
+    def test_blocked_parallel(self):
+        assert check_coverage(make_loop("aBbc", num_threads=2)).ok
+
+    def test_grid_with_remainder(self):
+        # 4 iterations over an {R:3} grid: uneven shares must still
+        # partition the space exactly
+        assert check_coverage(make_loop("A{R:3}bc")).ok
+
+    def test_dynamic_schedule(self):
+        loop = make_loop("ABc @ schedule(dynamic, 1)", num_threads=2)
+        assert check_coverage(loop).ok
+
+    def test_report_message_names_spec(self):
+        rep = check_coverage(make_loop("aBC", num_threads=2))
+        assert rep.ok and "'aBC'" in str(rep)
+
+
+def _patched_nest(loop, func):
+    """A shallow copy of *loop* whose compiled nest is replaced."""
+    broken = copy.copy(loop)
+    broken._nest = types.SimpleNamespace(func=func, source=loop._nest.source)
+    return broken
+
+
+class TestBrokenNests:
+    """Negative tests: deliberately corrupted nests must be caught."""
+
+    def test_dropped_iteration_reported_missing(self):
+        loop = make_loop("aBc", num_threads=2)
+        orig = loop._nest.func
+
+        def dropping(tid, nthreads, body, init, term, ctx):
+            def filtered(ind):
+                if tuple(ind) != (0, 0, 0):
+                    body(ind)
+            orig(tid, nthreads, filtered, init, term, ctx)
+
+        rep = check_coverage(_patched_nest(loop, dropping))
+        assert not rep.ok
+        assert (0, 0, 0) in rep.missing and not rep.duplicated
+        assert "dropped" in rep.message
+
+    def test_duplicated_iteration_reported(self):
+        loop = make_loop("aBc", num_threads=2)
+        orig = loop._nest.func
+
+        def doubling(tid, nthreads, body, init, term, ctx):
+            def twice(ind):
+                body(ind)
+                if tuple(ind) == (1, 1, 1):
+                    body(ind)
+            orig(tid, nthreads, twice, init, term, ctx)
+
+        rep = check_coverage(_patched_nest(loop, doubling))
+        assert not rep.ok
+        assert (1, 1, 1) in rep.duplicated and not rep.missing
+        assert "duplicated" in rep.message

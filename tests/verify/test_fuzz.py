@@ -1,0 +1,83 @@
+"""Differential fuzzer: determinism, oracle behaviour, CI surface."""
+
+import random
+
+import pytest
+
+from repro.verify import default_families, dump_failures, fuzz_family, run_fuzz
+from repro.verify.fuzz import _near_valid_spec, _valid_case
+
+
+class TestGenerators:
+    def test_valid_cases_are_deterministic(self):
+        fam = default_families()[0]
+        a = [_valid_case(random.Random(f"1:{fam.name}"), fam)
+             for _ in range(20)]
+        b = [_valid_case(random.Random(f"1:{fam.name}"), fam)
+             for _ in range(20)]
+        assert a == b
+
+    def test_valid_specs_build(self):
+        fam = default_families()[0]
+        rng = random.Random("3:gen")
+        for _ in range(25):
+            spec, blocks, nthreads = _valid_case(rng, fam)
+            loop, _run, _sb = fam.build(spec, blocks, nthreads, "threads")
+            assert loop.spec_string == spec
+
+    def test_near_valid_specs_cover_mutation_kinds(self):
+        fam = default_families()[0]
+        rng = random.Random("4:gen")
+        specs = {_near_valid_spec(rng, fam) for _ in range(200)}
+        assert len(specs) > 10
+
+
+class TestFuzzSmoke:
+    def test_gemm_family_green(self):
+        res = fuzz_family(default_families()[0], cases=20, seed=0)
+        assert res.ok, res.describe() + "\n" + "\n".join(
+            f"{s}: {w}" for s, w in res.failures())
+        assert res.cases == 20
+
+    def test_seeded_runs_reproduce(self):
+        fam = default_families()[0]
+        r1 = fuzz_family(fam, cases=15, seed=5)
+        r2 = fuzz_family(fam, cases=15, seed=5)
+        assert r1.describe() == r2.describe()
+
+    def test_oracles_exercised(self):
+        # enough cases that the generator hits racy specs, near-valid
+        # rejections, and exact numeric passes at least once each
+        res = fuzz_family(default_families()[0], cases=60, seed=0)
+        assert res.ok
+        assert res.passed > 0 and res.racy > 0 and res.rejected > 0
+
+    def test_dump_failures_empty_on_green(self, tmp_path):
+        res = fuzz_family(default_families()[0], cases=10, seed=0)
+        out = tmp_path / "fuzz-failures.txt"
+        assert dump_failures([res], str(out)) == 0
+        assert out.read_text() == ""
+
+    def test_dump_failures_records_specs(self, tmp_path):
+        res = fuzz_family(default_families()[0], cases=5, seed=0)
+        res.mismatches.append(("Abc", "synthetic"))
+        out = tmp_path / "fuzz-failures.txt"
+        assert dump_failures([res], str(out)) == 1
+        assert "gemm\tAbc\tsynthetic" in out.read_text()
+
+
+@pytest.mark.fuzz
+class TestFuzzFull:
+    """The CI fuzz job: every family at REPRO_FUZZ_CASES scale."""
+
+    @pytest.mark.parametrize("family", default_families(),
+                             ids=lambda f: f.name)
+    def test_family_green(self, family):
+        res = fuzz_family(family, seed=0)
+        assert res.ok, res.describe() + "\n" + "\n".join(
+            f"{s}: {w}" for s, w in res.failures())
+
+    def test_run_fuzz_all_families(self):
+        results = run_fuzz(cases=5, seed=2)
+        assert [r.family for r in results] == ["gemm", "mlp", "conv", "spmm"]
+        assert all(r.ok for r in results)

@@ -27,7 +27,7 @@ def test_fig10_sparse_vs_dense(benchmark):
          "paper speedup"])
     paper = PAPER["fig10"]["speedup"]
     for machine in (SPR, GVT3, ZEN4):
-        r = sparse_bert_inference(BERT_BASE, machine, nthreads=8)
+        r = sparse_bert_inference(BERT_BASE, machine, num_threads=8)
         table.add(machine.name, r.dense_s * 1e3, r.sparse_s * 1e3,
                   r.speedup, sparse_bert_roofline(r), paper[machine.name])
         assert 1.3 < r.speedup < 3.5
@@ -47,17 +47,17 @@ def test_fig10_sparse_vs_dense(benchmark):
           f"{PAPER['fig10']['f1_sparse']})")
     assert drop < 0.06
 
-    benchmark(lambda: sparse_bert_inference(BERT_BASE, ZEN4, nthreads=8))
+    benchmark(lambda: sparse_bert_inference(BERT_BASE, ZEN4, num_threads=8))
 
 
 def test_fig10_vs_deepsparse(benchmark):
     # FP32, BS=32, 24 cores on the modeled c5.12xlarge (the paper's setup)
     ours_s = bert_inference_performance(
         BERT_BASE, C5_12XLARGE, "parlooper", batch=32, seq=384,
-        dtype=DType.F32, nthreads=24)
+        dtype=DType.F32, num_threads=24)
     # apply the 80%-sparse contraction saving via the sparse pipeline
     r = sparse_bert_inference(BERT_BASE, C5_12XLARGE, batch=32, seq=384,
-                              dtype=DType.F32, nthreads=24)
+                              dtype=DType.F32, num_threads=24)
     ours_ips = 32.0 / r.sparse_s
     ds = DEEPSPARSE_BERT_BASE["items_per_second"]
     table = ExperimentTable(

@@ -60,3 +60,24 @@ for spec_string in ("aBC",          # collapse the (M, N) block space
 
 print("\nGenerated nest for the last spec (Listing 3 analogue):\n")
 print(gemm_loop.generated_source)
+
+# ---- observability: the same work, watched through a Session ------------
+# A Session owns a tracer + metric registry; every subsystem reports into
+# it (parser/plan/codegen/runtime spans, cache counters).  clock="tick"
+# makes the trace deterministic — two runs give byte-identical files.
+from repro import ObsConfig, Session  # noqa: E402
+
+sess = Session(obs=ObsConfig(clock="tick"))
+loop = sess.compile(
+    [LoopSpecs(0, Kb, Kb), LoopSpecs(0, Mb, 1, [4, 2]),
+     LoopSpecs(0, Nb, 1, [4])], "aBC", num_threads=4)
+with sess.activate():        # ambient obs for directly-driven loops
+    C[:] = 0
+    loop(body)
+
+print("\nWhere the time went (span tree):\n")
+print(sess.flamegraph())
+print("\nCounters:", {k: v for k, v in sess.metrics.snapshot().items()
+                      if k.startswith("cache_events")})
+sess.write_trace("quickstart_trace.json")
+print("wrote quickstart_trace.json — open in https://ui.perfetto.dev")

@@ -4,16 +4,30 @@ Simulates GPT-J-6B serving Poisson traffic on SPR: request -> scheduler
 (admission, deadlines) -> batcher (step composition) -> KV pool (paged
 blocks) -> cost model (engine-priced step) -> metrics.
 
-Run:  python examples/serve_demo.py
+Run:  python examples/serve_demo.py [--trace trace.json]
+
+``--trace`` re-runs the winning configuration inside an
+observability-enabled :class:`repro.Session` and writes its Chrome
+``trace_event`` file — open it in https://ui.perfetto.dev to see one
+timeline track per request (admit -> queued -> prefill -> decode, with
+preemption instants) plus the per-step serve track.
 """
 
+import argparse
 import copy
 
+from repro import ObsConfig, Session
 from repro.platform import SPR
 from repro.serve import (ContinuousBatcher, Scheduler, ServeCostModel,
                          ServeSimulator, SloPolicy, StaticBatcher,
                          TrafficGenerator)
 from repro.workloads import GPTJ_6B
+
+args = argparse.ArgumentParser(description=__doc__)
+args.add_argument("--trace", metavar="PATH", default=None,
+                  help="write a Perfetto-loadable trace of the "
+                       "continuous-batching run to PATH")
+opts = args.parse_args()
 
 traffic = TrafficGenerator(rate_rps=60.0, seed=7, mean_prompt=256,
                            max_prompt=1024, mean_new_tokens=32,
@@ -52,3 +66,14 @@ for label, policy in (
 print("\nknobs: ContinuousBatcher(token_budget, max_batch), "
       "SloPolicy(ttft_target_s, tpot_target_s, admission_backlog_tokens, "
       "preemption), PagedKvPool(block_tokens, mem_fraction)")
+
+# ---- optional: request-timeline trace for Perfetto ----------------------
+if opts.trace:
+    sess = Session(machine=SPR, obs=ObsConfig(clock="tick"))
+    rep = sess.serve(GPTJ_6B, batcher=ContinuousBatcher(),
+                     cost=cost).run(copy.deepcopy(traffic))
+    path = sess.write_trace(opts.trace)
+    n_spans = len(sess.tracer.events())
+    print(f"\nwrote {n_spans} trace events to {path} "
+          f"({rep.summary.n_finished} request timelines; open in "
+          "https://ui.perfetto.dev)")

@@ -39,7 +39,7 @@ print("Block-SpMM inference correct:",
 # ---- 3. end-to-end sparse BERT latency on simulated platforms ----------
 print("\nblock-sparse BERT-Base inference (BS=1, 8 cores, BF16):")
 for machine in (SPR, ZEN4):
-    r = sparse_bert_inference(BERT_BASE, machine, nthreads=8)
+    r = sparse_bert_inference(BERT_BASE, machine, num_threads=8)
     print(f"  {machine.name:5s}: dense {r.dense_s * 1e3:6.1f} ms -> sparse "
           f"{r.sparse_s * 1e3:6.1f} ms ({r.speedup:.2f}x, "
           f"{100 * sparse_bert_roofline(r):.0f}% of the 5x-contraction "

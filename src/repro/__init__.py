@@ -28,28 +28,41 @@ Architectures"* (Georganas et al., IPDPS 2024):
   differential spec fuzzer.
 """
 
+from ._compat import ParlooperDeprecationWarning
 from .core import LoopSpecs, SpecError, ThreadedLoop
 from .kernels import (ConvSpec, ParlooperConv, ParlooperGemm, ParlooperMlp,
                       ParlooperSpmm)
+from .obs import ObsConfig
 from .platform import ADL, GVT3, SPR, ZEN4, MachineModel
 from .serve import ServeSimulator, TrafficGenerator
-from .simulator import predict, simulate
+from .session import Session, default_session, predict, search, simulate
 from .tpp import BCSCMatrix, BRGemmTPP, DType, Precision, Ptr
-from .tuner import TuningConstraints, generate_candidates, search
+from .tuner import TuningConstraints, generate_candidates
 from .verify import (check_coverage, detect_races, run_fuzz, verify_nest,
                      VerificationError)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # facade
+    "Session", "ObsConfig", "default_session",
+    "ParlooperDeprecationWarning",
+    # core
     "ThreadedLoop", "LoopSpecs", "SpecError",
+    # kernels
     "ParlooperGemm", "ParlooperMlp", "ParlooperConv", "ParlooperSpmm",
     "ConvSpec",
+    # tpp
     "BRGemmTPP", "BCSCMatrix", "DType", "Precision", "Ptr",
+    # platform
     "MachineModel", "SPR", "GVT3", "ZEN4", "ADL",
+    # simulator (default-session wrappers)
     "simulate", "predict",
+    # serve
     "ServeSimulator", "TrafficGenerator",
+    # tuner
     "TuningConstraints", "generate_candidates", "search",
+    # verify
     "verify_nest", "detect_races", "check_coverage", "run_fuzz",
     "VerificationError",
     "__version__",

@@ -1,0 +1,63 @@
+"""Deprecation machinery for the public-API renames.
+
+The repo grew with a ``nthreads`` / ``num_threads`` keyword split across
+subsystems; the API now spells it ``num_threads`` everywhere.  The old
+spellings keep working for one release through :func:`renamed_kwarg`,
+which forwards ``old=`` to ``new=`` under a
+:class:`ParlooperDeprecationWarning`.
+
+That warning class is deliberately ours: the test suite turns it into an
+error *only when it originates from repro's own modules* (see
+``pyproject.toml``), so internal callers must use the new spellings
+while downstream code merely sees a normal deprecation notice.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+
+__all__ = ["ParlooperDeprecationWarning", "renamed_kwarg"]
+
+#: the release in which the deprecated spellings disappear
+_REMOVAL = "1.1"
+
+
+class ParlooperDeprecationWarning(DeprecationWarning):
+    """A repro API element scheduled for removal."""
+
+
+def renamed_kwarg(old: str, new: str):
+    """Accept keyword *old* as a deprecated alias of *new*.
+
+    Passing both is a :class:`TypeError` (the call is ambiguous); passing
+    *old* warns with :class:`ParlooperDeprecationWarning` and forwards
+    the value.  Works on functions and methods; apply directly above the
+    ``def``.
+    """
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if old in kwargs:
+                if new in kwargs:
+                    raise TypeError(
+                        f"{fn.__qualname__}() got both {old!r} and its "
+                        f"replacement {new!r}")
+                warnings.warn(
+                    f"{fn.__qualname__}({old}=...) is deprecated, use "
+                    f"{new}=... instead; {old!r} will be removed in "
+                    f"{_REMOVAL}", ParlooperDeprecationWarning,
+                    stacklevel=2)
+                kwargs[new] = kwargs.pop(old)
+            return fn(*args, **kwargs)
+        return wrapper
+    return deco
+
+
+def deprecated_alias(name: str, replacement: str):
+    """Warn that attribute *name* is deprecated in favour of
+    *replacement* (used by property shims)."""
+    warnings.warn(
+        f"{name} is deprecated, use {replacement} instead; "
+        f"{name!r} will be removed in {_REMOVAL}",
+        ParlooperDeprecationWarning, stacklevel=3)

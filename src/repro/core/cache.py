@@ -23,6 +23,7 @@ import tempfile
 import threading
 import time
 
+from ..obs.context import current as _obs
 from .codegen import GeneratedNest, compile_nest, compile_source
 from .plan import LoopNestPlan
 
@@ -45,31 +46,42 @@ class NestCache:
             self.load(persist_path)
 
     def get(self, plan: LoopNestPlan) -> GeneratedNest:
+        obs = _obs()
         key = plan.cache_key()
         skey = repr(key)
         with self._lock:
             nest = self._cache.get(key)
             if nest is not None:
                 self.hits += 1
+                if obs.enabled:
+                    obs.inc("cache_events", cache="nest", kind="hit")
                 return nest
             source = self._sources.get(skey)
         # compile outside the lock; a racing duplicate compile is harmless
         t0 = time.perf_counter()
-        if source is not None:
-            nest = compile_source(source, plan)
-        else:
-            nest = compile_nest(plan)
+        with obs.span("codegen", spec=plan.spec_string,
+                      from_disk=source is not None):
+            if source is not None:
+                nest = compile_source(source, plan)
+            else:
+                nest = compile_nest(plan)
         dt = time.perf_counter() - t0
         with self._lock:
             existing = self._cache.get(key)
             if existing is not None:
                 self.hits += 1
+                if obs.enabled:
+                    obs.inc("cache_events", cache="nest", kind="hit")
                 return existing
             if source is not None:
                 self.disk_hits += 1
+                if obs.enabled:
+                    obs.inc("cache_events", cache="nest", kind="disk_hit")
             else:
                 self.misses += 1
                 self.total_compile_seconds += dt
+                if obs.enabled:
+                    obs.inc("cache_events", cache="nest", kind="miss")
             self._cache[key] = nest
             self._sources[skey] = nest.source
             return nest
@@ -79,6 +91,9 @@ class NestCache:
         path = path or self.persist_path
         if path is None:
             raise ValueError("NestCache.save needs a path")
+        obs = _obs()
+        if obs.enabled:
+            obs.inc("cache_events", cache="nest", kind="persist")
         with self._lock:
             payload = json.dumps(self._sources, indent=0, sort_keys=True)
         directory = os.path.dirname(os.path.abspath(path))

@@ -25,6 +25,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
+from ..obs.context import current as _obs
 from .errors import SpecError
 
 __all__ = ["LoopToken", "ParsedSpec", "parse_spec_string", "GRID_AXES"]
@@ -130,6 +131,11 @@ def parse_spec_string(spec: str, num_loops: int) -> ParsedSpec:
     character ``span`` whenever the construct can be located, so the
     message renders a caret under it.
     """
+    with _obs().span("parser"):
+        return _parse_spec_string(spec, num_loops)
+
+
+def _parse_spec_string(spec: str, num_loops: int) -> ParsedSpec:
     if not isinstance(spec, str) or not spec.strip():
         raise SpecError("loop_spec_string must be a non-empty string")
     if num_loops < 1 or num_loops > 26:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.context import current as _obs
 from .errors import SpecError
 from .loop_spec import LoopSpecs
 from .parser import ParsedSpec, parse_spec_string
@@ -84,6 +85,11 @@ class LoopNestPlan:
 
 def build_plan(specs, spec_string: str) -> LoopNestPlan:
     """Resolve a spec string against loop declarations into a nest plan."""
+    with _obs().span("plan", spec=spec_string):
+        return _build_plan(specs, spec_string)
+
+
+def _build_plan(specs, spec_string: str) -> LoopNestPlan:
     specs = tuple(specs)
     for s in specs:
         if not isinstance(s, LoopSpecs):

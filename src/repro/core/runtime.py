@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import threading
 
+from .._compat import renamed_kwarg
+from ..obs.context import current as _obs
 from .errors import ExecutionError, SpecError
 
 __all__ = ["NestContext", "run_nest", "EXECUTION_MODES"]
@@ -63,16 +65,27 @@ class NestContext:
             return (start, end)
 
 
-def run_nest(nest_func, nthreads: int, body_func, init_func=None,
+@renamed_kwarg("nthreads", "num_threads")
+def run_nest(nest_func, num_threads: int, body_func, init_func=None,
              term_func=None, grid=(1, 1, 1), execution: str = "serial"
              ) -> None:
-    """Execute a compiled nest function across *nthreads* logical threads."""
+    """Execute a compiled nest function across *num_threads* logical
+    threads."""
+    with _obs().span("runtime", num_threads=num_threads,
+                     execution=execution):
+        _run_nest(nest_func, num_threads, body_func, init_func,
+                  term_func, grid, execution)
+
+
+def _run_nest(nest_func, nthreads: int, body_func, init_func,
+              term_func, grid, execution: str) -> None:
     if execution not in EXECUTION_MODES:
         raise ExecutionError(
             f"unknown execution mode {execution!r}; expected one of "
             f"{EXECUTION_MODES}")
     if nthreads <= 0:
-        raise ExecutionError(f"nthreads must be positive, got {nthreads}")
+        raise ExecutionError(
+            f"num_threads must be positive, got {nthreads}")
 
     gr, gc, gd = grid
     # a nest generated for an explicit {R:n}/{C:n}/{D:n} decomposition has
@@ -87,8 +100,9 @@ def run_nest(nest_func, nthreads: int, body_func, init_func=None,
             if nthreads != need:
                 raise SpecError(
                     f"nest was generated for a {dr}x{dc}x{dd} thread grid "
-                    f"({need} threads) but run_nest got nthreads={nthreads} "
-                    "with the default grid=(1, 1, 1)")
+                    f"({need} threads) but run_nest got "
+                    f"num_threads={nthreads} with the default "
+                    "grid=(1, 1, 1)")
             gr, gc, gd = dr, dc, dd   # adopt the declared decomposition
         elif (gr, gc, gd) != (dr, dc, dd):
             raise SpecError(

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 
+from ..obs.context import current as _obs
 from .cache import NestCache, global_nest_cache
 from .codegen import GeneratedNest
 from .errors import ExecutionError, SpecError
@@ -69,10 +70,12 @@ class ThreadedLoop:
             specs = [specs]
         self.specs = tuple(specs)
         self.spec_string = spec_string
-        self.plan: LoopNestPlan = build_plan(self.specs, spec_string)
-        self.execution = execution
-        self._cache = cache if cache is not None else global_nest_cache()
-        self._nest: GeneratedNest = self._cache.get(self.plan)
+        with _obs().span("compile", spec=spec_string):
+            self.plan: LoopNestPlan = build_plan(self.specs, spec_string)
+            self.execution = execution
+            self._cache = cache if cache is not None \
+                else global_nest_cache()
+            self._nest: GeneratedNest = self._cache.get(self.plan)
 
         grid = self.plan.grid_shape
         grid_threads = grid[0] * grid[1] * grid[2]

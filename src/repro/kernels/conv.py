@@ -30,7 +30,7 @@ from ..core.loop_spec import LoopSpecs
 from ..core.threaded_loop import ThreadedLoop
 from ..platform.machine import MachineModel
 from ..simulator.cost import brgemm_event
-from ..simulator.engine import SimResult, simulate
+from ..simulator.engine import SimResult
 from ..tpp.dtypes import DType, Precision
 from ..tpp.gemm import BRGemmTPP
 from ..tpp.unary import ZeroTPP
@@ -107,6 +107,7 @@ class ParlooperConv:
              LoopSpecs(0, spec.S, spec.S, bs[6])],         # g: filter cols
             spec_string, num_threads=num_threads)
         self.num_threads = self.conv_loop.num_threads
+        self._sim_bodies: dict = {}
 
     # -- layout ------------------------------------------------------------
     def pack_input(self, x: np.ndarray) -> np.ndarray:
@@ -193,5 +194,29 @@ class ParlooperConv:
                 beta=1.0, c_first_touch=(ic == 0))
         return body
 
-    def simulate(self, machine: MachineModel) -> SimResult:
-        return simulate(self.conv_loop, self.sim_body(machine), machine)
+    def _cached_sim_body(self, machine: MachineModel):
+        body = self._sim_bodies.get(machine.name)
+        if body is None:
+            body = self._sim_bodies[machine.name] = self.sim_body(machine)
+        return body
+
+    def _body_key(self, machine: MachineModel) -> tuple:
+        return ("ParlooperConv", self.spec, self.bc, self.bk,
+                self.w_step, self.c_step, self.dtype, machine.name)
+
+    def simulate(self, machine: MachineModel, session=None) -> SimResult:
+        """Engine simulation through a session (the default one if None),
+        so runs share its trace cache and report into its tracer."""
+        from ..session import resolve_session
+        return resolve_session(session).simulate(
+            self.conv_loop, self._cached_sim_body(machine), machine,
+            body_key=self._body_key(machine))
+
+    def predict(self, machine: MachineModel, session=None,
+                sample_threads: int | None = None):
+        """Box-B3 performance-model companion of :meth:`simulate`."""
+        from ..session import resolve_session
+        return resolve_session(session).predict(
+            self.conv_loop, self._cached_sim_body(machine), machine,
+            sample_threads=sample_threads, total_flops=float(self.flops),
+            body_key=self._body_key(machine))

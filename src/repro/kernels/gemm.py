@@ -16,7 +16,7 @@ from ..core.loop_spec import LoopSpecs
 from ..core.threaded_loop import ThreadedLoop
 from ..platform.machine import MachineModel
 from ..simulator.cost import brgemm_event, eltwise_event
-from ..simulator.engine import SimResult, simulate
+from ..simulator.engine import SimResult
 from ..tpp.dtypes import DType, Precision
 from ..tpp.gemm import BRGemmTPP
 from ..tpp.memory import Ptr
@@ -96,6 +96,7 @@ class ParlooperGemm:
              LoopSpecs(0, self.Nb, 1, block_steps[2])],
             spec_string, num_threads=num_threads)
         self.num_threads = self.gemm_loop.num_threads
+        self._sim_bodies: dict = {}
 
     # -- layout ------------------------------------------------------------
     def pack_a(self, a: np.ndarray) -> np.ndarray:
@@ -202,8 +203,45 @@ class ParlooperGemm:
             return 2.1
         return 1.25
 
-    def simulate(self, machine: MachineModel) -> SimResult:
-        return simulate(self.gemm_loop, self.sim_body(machine), machine)
+    def _cached_sim_body(self, machine: MachineModel, scale: float):
+        """One closure per (machine, scale): repeated simulate/predict
+        calls present a stable body identity to the trace cache."""
+        key = (machine.name, scale)
+        body = self._sim_bodies.get(key)
+        if body is None:
+            body = self._sim_bodies[key] = self.sim_body(machine, scale)
+        return body
+
+    def _body_key(self, machine: MachineModel, scale: float) -> tuple:
+        """Trace-cache key naming everything the body's events depend on
+        (so equal-shape kernel instances share captured traces)."""
+        return ("ParlooperGemm", self.M, self.N, self.K,
+                self.bm, self.bn, self.bk, self.k_step, self.dtype,
+                self.activation, self.bias, scale, machine.name)
+
+    def simulate(self, machine: MachineModel, session=None) -> SimResult:
+        """Engine simulation through a session (the default one if None),
+        so runs share its trace cache and report into its tracer."""
+        from ..session import resolve_session
+        sess = resolve_session(session)
+        scale = self._conflict_scale()
+        return sess.simulate(self.gemm_loop,
+                             self._cached_sim_body(machine, scale),
+                             machine,
+                             body_key=self._body_key(machine, scale))
+
+    def predict(self, machine: MachineModel, session=None,
+                sample_threads: int | None = None):
+        """Box-B3 performance-model companion of :meth:`simulate`
+        (:class:`~repro.simulator.perfmodel.PerfPrediction`)."""
+        from ..session import resolve_session
+        sess = resolve_session(session)
+        scale = self._conflict_scale()
+        return sess.predict(self.gemm_loop,
+                            self._cached_sim_body(machine, scale),
+                            machine, sample_threads=sample_threads,
+                            total_flops=float(self.flops),
+                            body_key=self._body_key(machine, scale))
 
     def with_spec(self, spec_string: str, block_steps=None,
                   num_threads=None) -> "ParlooperGemm":

@@ -103,42 +103,109 @@ class ParlooperMlp:
     def flops(self) -> int:
         return sum(layer.gemm.flops for layer in self.layers)
 
-    def simulate(self, machine: MachineModel) -> SimResult:
+    def _layer_sim_body(self, l: int, machine: MachineModel):
+        """Simulator body of layer *l* with per-layer activation keys, so
+        the engine sees one layer's output tensor as the next's input."""
+        cached = getattr(self, "_sim_bodies", None)
+        if cached is None:
+            cached = self._sim_bodies = {}
+        key = (l, machine.name)
+        body = cached.get(key)
+        if body is not None:
+            return body
+        g = self.layers[l].gemm
+
+        def body(ind, l=l, g=g):
+            ik, im, in_ = ind
+            from ..simulator.cost import brgemm_event, eltwise_event
+            a_keys = [(f"W{l}", im, k)
+                      for k in range(ik, ik + g.k_step)]
+            # layer input = previous layer's output tensor
+            b_keys = [(f"ACT{l}", in_, k)
+                      for k in range(ik, ik + g.k_step)]
+            events = [brgemm_event(
+                machine, g.dtype, g.bm, g.bn, g.bk, g.k_step,
+                a_keys, b_keys, (f"ACT{l + 1}", in_, im), beta=1.0,
+                c_first_touch=(ik == 0))]
+            if ik == g.Kb - g.k_step:
+                events.append(eltwise_event(
+                    machine, g.dtype, g.bm, g.bn,
+                    [(f"ACT{l + 1}", in_, im)],
+                    (f"ACT{l + 1}", in_, im), flops_per_elem=2.0))
+            return events
+
+        cached[key] = body
+        return body
+
+    def _layer_body_key(self, l: int, machine: MachineModel) -> tuple:
+        g = self.layers[l].gemm
+        return ("ParlooperMlp.layer", l, self.sizes[l], self.sizes[l + 1],
+                self.minibatch, g.bm, g.bn, g.bk, g.k_step, self.dtype,
+                machine.name)
+
+    def simulate(self, machine: MachineModel, session=None) -> SimResult:
         """Simulate the full cascade as one run so activations written in
-        layer l are the slices read in layer l+1 (core-to-core traffic)."""
-        nthreads = self.layers[0].gemm.num_threads
-        merged = None
-        for l, layer in enumerate(self.layers):
-            g = layer.gemm
+        layer l are the slices read in layer l+1 (core-to-core traffic).
 
-            def body(ind, l=l, g=g):
-                ik, im, in_ = ind
-                from ..simulator.cost import brgemm_event, eltwise_event
-                a_keys = [(f"W{l}", im, k)
-                          for k in range(ik, ik + g.k_step)]
-                # layer input = previous layer's output tensor
-                b_keys = [(f"ACT{l}", in_, k)
-                          for k in range(ik, ik + g.k_step)]
-                events = [brgemm_event(
-                    machine, g.dtype, g.bm, g.bn, g.bk, g.k_step,
-                    a_keys, b_keys, (f"ACT{l + 1}", in_, im), beta=1.0,
-                    c_first_touch=(ik == 0))]
-                if ik == g.Kb - g.k_step:
-                    events.append(eltwise_event(
-                        machine, g.dtype, g.bm, g.bn,
-                        [(f"ACT{l + 1}", in_, im)],
-                        (f"ACT{l + 1}", in_, im), flops_per_elem=2.0))
-                return events
+        The merged multi-layer trace cannot go through the session's
+        single-loop trace cache, but the run still reports into the
+        session's (or ambient) observability scope."""
+        from ..session import resolve_session
+        sess = resolve_session(session)
+        with sess.activate(), sess.obs.span(
+                "mlp_simulate", layers=len(self.layers),
+                machine=machine.name):
+            merged = None
+            for l in range(len(self.layers)):
+                traces = trace_threaded_loop(
+                    self.layers[l].gemm.gemm_loop,
+                    self._layer_sim_body(l, machine))
+                if merged is None:
+                    merged = traces
+                else:
+                    for t, extra in zip(merged, traces):
+                        t.events.extend(extra.events)
+            return simulate_traces(merged, machine)
 
-            traces = trace_threaded_loop(g.gemm_loop, body)
-            if merged is None:
-                merged = traces
-            else:
-                for t, extra in zip(merged, traces):
-                    t.events.extend(extra.events)
-        return simulate_traces(merged, machine)
+    def predict(self, machine: MachineModel, session=None,
+                sample_threads: int | None = None):
+        """Box-B3 performance-model companion of :meth:`simulate`.
 
-    def efficiency(self, machine: MachineModel) -> float:
+        Composed layer by layer through the session's memoized predict
+        path (the model ignores data sharing, so the cascade's
+        core-to-core handoff costs nothing here anyway): seconds and
+        flops sum, per-thread seconds add elementwise, hit fractions
+        average weighted by layer time.
+        """
+        from ..session import resolve_session
+        from ..simulator.perfmodel import PerfPrediction
+        sess = resolve_session(session)
+        preds = [
+            sess.predict(self.layers[l].gemm.gemm_loop,
+                         self._layer_sim_body(l, machine), machine,
+                         sample_threads=sample_threads,
+                         total_flops=float(self.layers[l].gemm.flops),
+                         body_key=self._layer_body_key(l, machine))
+            for l in range(len(self.layers))
+        ]
+        seconds = sum(p.seconds for p in preds)
+        per_thread = tuple(
+            sum(vals) for vals in zip(*(p.per_thread_seconds
+                                        for p in preds)))
+        if seconds > 0.0:
+            n_frac = len(preds[0].hit_fractions)
+            hit_fractions = tuple(
+                sum(p.seconds * p.hit_fractions[i] for p in preds) / seconds
+                for i in range(n_frac))
+        else:
+            hit_fractions = preds[0].hit_fractions
+        return PerfPrediction(
+            seconds=seconds,
+            total_flops=sum(p.total_flops for p in preds),
+            per_thread_seconds=per_thread,
+            hit_fractions=hit_fractions)
+
+    def efficiency(self, machine: MachineModel, session=None) -> float:
         """Fraction of machine peak achieved (the Fig 3 dashed lines)."""
-        res = self.simulate(machine)
+        res = self.simulate(machine, session=session)
         return res.gflops / machine.peak_gflops(self.dtype)

@@ -17,7 +17,7 @@ from ..core.loop_spec import LoopSpecs
 from ..core.threaded_loop import ThreadedLoop
 from ..platform.machine import MachineModel
 from ..simulator.cost import spmm_event
-from ..simulator.engine import SimResult, simulate
+from ..simulator.engine import SimResult
 from ..tpp.dtypes import DType, Precision
 from ..tpp.sparse import BCSCMatrix, BlockSpMMTPP
 from .common import as_dtype, divisible
@@ -52,6 +52,10 @@ class ParlooperSpmm:
              LoopSpecs(0, self.Nb, 1, block_steps[1])],
             spec_string, num_threads=num_threads)
         self.num_threads = self.spmm_loop.num_threads
+        self._sim_bodies: dict = {}
+        # the body walks A's nonzero structure, which no shape tuple can
+        # name — an owned sentinel keeps trace-cache keys collision-free
+        self._a_token = object()
 
     # -- layout ------------------------------------------------------------
     def pack_b(self, b: np.ndarray) -> np.ndarray:
@@ -109,10 +113,37 @@ class ParlooperSpmm:
                               ("C", i_m, i_n), beta=0.0)
         return body
 
-    def simulate(self, machine: MachineModel) -> SimResult:
-        return simulate(self.spmm_loop, self.sim_body(machine), machine)
+    def _cached_sim_body(self, machine: MachineModel):
+        body = self._sim_bodies.get(machine.name)
+        if body is None:
+            body = self._sim_bodies[machine.name] = self.sim_body(machine)
+        return body
 
-    def effective_gflops(self, machine: MachineModel) -> float:
+    def _body_key(self, machine: MachineModel) -> tuple:
+        return ("ParlooperSpmm", self._a_token, self.N, self.bn,
+                self.dtype, machine.name)
+
+    def simulate(self, machine: MachineModel, session=None) -> SimResult:
+        """Engine simulation through a session (the default one if None),
+        so runs share its trace cache and report into its tracer."""
+        from ..session import resolve_session
+        return resolve_session(session).simulate(
+            self.spmm_loop, self._cached_sim_body(machine), machine,
+            body_key=self._body_key(machine))
+
+    def predict(self, machine: MachineModel, session=None,
+                sample_threads: int | None = None):
+        """Box-B3 performance-model companion of :meth:`simulate`.
+
+        Scored in *effective* (dense-equivalent) flops, like Fig 8."""
+        from ..session import resolve_session
+        return resolve_session(session).predict(
+            self.spmm_loop, self._cached_sim_body(machine), machine,
+            sample_threads=sample_threads,
+            total_flops=float(self.effective_flops),
+            body_key=self._body_key(machine))
+
+    def effective_gflops(self, machine: MachineModel, session=None) -> float:
         """Dense-equivalent throughput (Fig 8 y-axis)."""
-        res = self.simulate(machine)
+        res = self.simulate(machine, session=session)
         return self.effective_flops / res.seconds / 1e9

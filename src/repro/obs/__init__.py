@@ -1,0 +1,41 @@
+"""repro.obs — zero-dependency tracing + metrics for the whole stack.
+
+One observability layer that every subsystem reports into: nested span
+traces (Chrome ``trace_event`` / Perfetto export, text flamegraphs) and
+labeled counters/gauges/histograms (``snapshot()`` dicts, Prometheus
+text).  Owned per :class:`repro.Session`; the ambient context defaults
+to disabled no-ops so the instrumented hot paths stay within the <5%
+overhead budget when observability is off.
+"""
+
+from .clock import TickClock, wall_clock
+from .context import OBS_OFF, ObsConfig, ObsContext, current, use
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NULL_METRICS,
+    NullMetrics,
+)
+from .trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "ObsConfig",
+    "ObsContext",
+    "OBS_OFF",
+    "current",
+    "use",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "MetricRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TickClock",
+    "wall_clock",
+]

@@ -1,0 +1,51 @@
+"""Clocks for the tracer.
+
+Spans need a monotonic timestamp source.  The default is the process
+wall clock (``time.perf_counter``), but tests — and anything that wants
+bit-identical trace replays — inject a :class:`TickClock`: a counter
+masquerading as a clock, whose Nth reading is always ``start + N *
+tick``.  Two runs of the same instrumented code then produce *equal*
+trace files, so a trace can be asserted on like any other deterministic
+output of this repo.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["TickClock", "wall_clock"]
+
+#: the default clock: seconds as a float, monotonic
+wall_clock = time.perf_counter
+
+
+class TickClock:
+    """Deterministic monotonic clock: call N returns ``start + N * tick``.
+
+    Thread-safe; every reading is unique, so sibling spans never share a
+    timestamp and Chrome-trace nesting (inferred from times) is exact.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 1e-6):
+        if tick <= 0:
+            raise ValueError(f"tick must be positive, got {tick!r}")
+        self.start = float(start)
+        self.tick = float(tick)
+        self._n = 0
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            n = self._n
+            self._n += 1
+        return self.start + n * self.tick
+
+    @property
+    def readings(self) -> int:
+        """How many times the clock has been read."""
+        return self._n
+
+    def reset(self) -> None:
+        with self._lock:
+            self._n = 0

@@ -1,0 +1,290 @@
+"""Counters, gauges, and histograms with labeled series.
+
+A :class:`MetricRegistry` owns every metric for one session.  Metrics
+are get-or-create (``registry.counter("cache_events", kind="hit")``), so
+instrumentation sites never need to pre-declare anything; each distinct
+label set is its own series.  Two export forms:
+
+* :meth:`MetricRegistry.snapshot` — a flat ``{'name{k="v"}': value}``
+  dict, the form tests assert on exactly, and
+* :meth:`MetricRegistry.prometheus_text` — the Prometheus exposition
+  format, one ``# TYPE`` header per metric family.
+
+Collectors registered with :meth:`MetricRegistry.register_collector` run
+at snapshot time, for values that live elsewhere (cache hit totals,
+pool occupancy) and should be sampled rather than pushed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+]
+
+
+def _series_key(name: str, labels: tuple) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count (one labeled series)."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def get(self):
+        return self.value
+
+
+class Gauge:
+    """Point-in-time value; tracks the max it ever held."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value", "max_value")
+
+    def __init__(self, name: str, labels: tuple):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        if self.value > self.max_value:
+            self.max_value = self.value
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + float(delta))
+
+    def get(self):
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket distribution (cumulative counts, Prometheus-style)."""
+
+    kind = "histogram"
+    DEFAULT_BOUNDS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count",
+                 "total")
+
+    def __init__(self, name: str, labels: tuple, bounds=None):
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds) if bounds is not None \
+            else self.DEFAULT_BOUNDS
+        if any(b >= a for b, a in zip(self.bounds, self.bounds[1:])):
+            raise ValueError("histogram bounds must be increasing")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        i = 0
+        for bound in self.bounds:
+            if v <= bound:
+                break
+            i += 1
+        self.bucket_counts[i] += 1
+        self.count += 1
+        self.total += v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def get(self):
+        return {"count": self.count, "sum": self.total, "mean": self.mean}
+
+
+class MetricRegistry:
+    """Get-or-create registry of labeled counters/gauges/histograms."""
+
+    enabled = True
+
+    def __init__(self):
+        self._series: dict = {}       # (name, labels) -> metric
+        self._lock = threading.Lock()
+        self._collectors: list = []
+
+    # -- get-or-create ----------------------------------------------------
+    def _get(self, cls, name: str, labels: dict, **kw):
+        key = (name, tuple(sorted(labels.items())))
+        m = self._series.get(key)
+        if m is None:
+            with self._lock:
+                m = self._series.get(key)
+                if m is None:
+                    m = self._series[key] = cls(name, key[1], **kw)
+        if not isinstance(m, cls):
+            raise TypeError(
+                f"metric {key[0]!r} already registered as {m.kind}")
+        return m
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, bounds=None, **labels) -> Histogram:
+        return self._get(Histogram, name, labels, bounds=bounds)
+
+    # -- convenience write paths -----------------------------------------
+    def inc(self, name: str, amount: int = 1, **labels) -> None:
+        self.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    def register_collector(self, fn) -> None:
+        """``fn(registry)`` runs at every snapshot/prometheus render."""
+        self._collectors.append(fn)
+
+    def _collect(self) -> None:
+        for fn in list(self._collectors):
+            fn(self)
+
+    # -- reads ------------------------------------------------------------
+    def value(self, name: str, **labels):
+        """Current value of one series, 0 if never touched."""
+        key = (name, tuple(sorted(labels.items())))
+        m = self._series.get(key)
+        return m.get() if m is not None else 0
+
+    def snapshot(self) -> dict:
+        """All series as a flat ``{'name{k="v"}': value}`` dict."""
+        self._collect()
+        out = {}
+        for (name, labels), m in sorted(self._series.items()):
+            out[_series_key(name, labels)] = m.get()
+        return out
+
+    def prometheus_text(self) -> str:
+        """Prometheus exposition format rendering of every series."""
+        self._collect()
+        families: dict = {}
+        for (name, labels), m in sorted(self._series.items()):
+            families.setdefault((name, m.kind), []).append((labels, m))
+        lines = []
+        for (name, kind), series in families.items():
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, m in series:
+                if kind == "histogram":
+                    cum = 0
+                    for bound, n in zip(m.bounds, m.bucket_counts):
+                        cum += n
+                        le = labels + (("le", repr(bound)),)
+                        lines.append(
+                            f"{_series_key(name + '_bucket', le)} {cum}")
+                    inf = labels + (("le", "+Inf"),)
+                    lines.append(
+                        f"{_series_key(name + '_bucket', inf)} {m.count}")
+                    lines.append(
+                        f"{_series_key(name + '_sum', labels)} {m.total}")
+                    lines.append(
+                        f"{_series_key(name + '_count', labels)} {m.count}")
+                else:
+                    lines.append(f"{_series_key(name, labels)} {m.get()}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._series.clear()
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+
+class _NullMetric:
+    """Write sink shared by every disabled series."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def add(self, delta: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def get(self):
+        return 0
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullMetrics:
+    """Disabled registry: every operation is a cheap no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels):
+        return _NULL_METRIC
+
+    def gauge(self, name: str, **labels):
+        return _NULL_METRIC
+
+    def histogram(self, name: str, bounds=None, **labels):
+        return _NULL_METRIC
+
+    def inc(self, name: str, amount: int = 1, **labels) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        return None
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        return None
+
+    def register_collector(self, fn) -> None:
+        return None
+
+    def value(self, name: str, **labels):
+        return 0
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def prometheus_text(self) -> str:
+        return ""
+
+    def clear(self) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: shared disabled registry (used by the ambient context's off state)
+NULL_METRICS = NullMetrics()

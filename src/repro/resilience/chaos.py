@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.errors import ParlooperError, ServeError
+from ..obs.context import current as _obs
 
 __all__ = ["ChaosOutcome", "check_invariants", "chaos_trial",
            "chaos_sweep"]
@@ -70,21 +71,28 @@ def chaos_trial(sim, requests, seed: int = 0) -> ChaosOutcome:
     """Run *sim* over *requests* and judge it. Never raises for
     simulator failures — a typed error becomes a violation with its
     snapshot attached."""
-    try:
-        report = sim.run(requests)
-    except ServeError as exc:
-        return ChaosOutcome(seed=seed, ok=False,
-                            violations=(f"unhandled {type(exc).__name__}: "
-                                        f"{exc}",),
-                            snapshot=exc.snapshot)
-    except ParlooperError as exc:
-        return ChaosOutcome(seed=seed, ok=False,
-                            violations=(f"unhandled {type(exc).__name__}: "
-                                        f"{exc}",))
-    violations = check_invariants(sim, report)
-    return ChaosOutcome(seed=seed, ok=not violations,
-                        violations=tuple(violations),
-                        summary=report.summary)
+    obs = _obs()
+    with obs.span("chaos_trial", seed=seed):
+        try:
+            report = sim.run(requests)
+        except ServeError as exc:
+            outcome = ChaosOutcome(
+                seed=seed, ok=False,
+                violations=(f"unhandled {type(exc).__name__}: {exc}",),
+                snapshot=exc.snapshot)
+        except ParlooperError as exc:
+            outcome = ChaosOutcome(
+                seed=seed, ok=False,
+                violations=(f"unhandled {type(exc).__name__}: {exc}",))
+        else:
+            violations = check_invariants(sim, report)
+            outcome = ChaosOutcome(seed=seed, ok=not violations,
+                                   violations=tuple(violations),
+                                   summary=report.summary)
+    if obs.enabled:
+        obs.inc("chaos_trials", verdict="ok" if outcome.ok else
+                ("error" if outcome.summary is None else "violation"))
+    return outcome
 
 
 def chaos_sweep(make_trial, seeds) -> list:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .._compat import renamed_kwarg
 from ..baselines.stacks import STACKS
 from ..platform.machine import MachineModel
 from ..tpp.dtypes import DType
@@ -129,3 +130,9 @@ class ServeCostModel(OpCostModel):
         contexts = list(contexts)
         return self.step_seconds(decode_contexts=contexts,
                                  n_emit=len(contexts))
+
+
+# ServeCostModel generates its own __init__ from the (inherited) fields,
+# so it needs its own wrap of the nthreads -> num_threads shim
+ServeCostModel.__init__ = renamed_kwarg("nthreads", "num_threads")(
+    ServeCostModel.__init__)

@@ -83,7 +83,14 @@ class ServeSummary:
 
 @dataclass
 class ServeMetrics:
-    """Accumulates per-request and per-step observations."""
+    """Accumulates per-request and per-step observations.
+
+    ``obs`` is an :class:`~repro.obs.context.ObsContext`; when its
+    metrics are enabled every ``on_*`` event is mirrored into labeled
+    counters (``serve_requests{event=}``, ``recovery_actions{action=}``)
+    and every :meth:`sample` into pressure gauges, so a
+    :class:`~repro.Session` sees the serving funnel live.  The mirror is
+    additive only — summaries stay bit-identical with obs off."""
 
     ttfts: list = field(default_factory=list)
     tpots: list = field(default_factory=list)
@@ -102,10 +109,26 @@ class ServeMetrics:
     goodput_tokens: int = 0
     #: (time_s, queue_depth, batch_size, kv_occupancy, kv_fragmentation)
     samples: list = field(default_factory=list)
+    #: observability context the events mirror into (None = no mirror)
+    obs: object = field(default=None, repr=False, compare=False)
+    #: simulated clock (kept current by the server loop) so mirrored
+    #: trace events carry simulation time, not wall time
+    now_s: float = field(default=0.0, repr=False, compare=False)
+
+    def _event(self, event: str) -> None:
+        if self.obs is not None and self.obs.enabled:
+            self.obs.inc("serve_requests", event=event)
+
+    def _recovery(self, action: str) -> None:
+        if self.obs is not None and self.obs.enabled:
+            self.obs.inc("recovery_actions", action=action)
 
     def on_finish(self, req: Request) -> None:
         self.n_finished += 1
         self.generated_tokens += req.generated
+        self._event("finished")
+        if self.obs is not None and self.obs.enabled:
+            self.obs.inc("serve_tokens", req.generated)
         # goodput: only work the SLO and the client both still want
         slo_ok = req.deadline_s is None or req.finish_s <= req.deadline_s
         client_ok = req.cancel_s is None or req.finish_s <= req.cancel_s
@@ -121,32 +144,53 @@ class ServeMetrics:
 
     def on_reject(self, req: Request) -> None:
         self.n_rejected += 1
+        self._event("rejected")
 
     def on_preempt(self, req: Request) -> None:
         self.n_preemptions += 1
+        if self.obs is not None and self.obs.enabled:
+            self.obs.inc("serve_preemptions")
+            self.obs.tracer.instant("preempt", track=f"req {req.rid}",
+                                    ts=self.now_s,
+                                    preemptions=req.preemptions)
 
     def on_timeout(self, req: Request) -> None:
         self.n_timed_out += 1
+        self._event("timed_out")
+        self._recovery("timeout")
 
     def on_cancel(self, req: Request) -> None:
         self.n_cancelled += 1
+        self._event("cancelled")
+        self._recovery("cancel")
 
     def on_shed(self, req: Request) -> None:
         self.n_shed += 1
+        self._event("shed")
+        self._recovery("shed")
 
     def on_retry(self, req: Request) -> None:
         self.n_retries += 1
+        self._recovery("retry")
 
     def on_degrade(self, req: Request) -> None:
         self.n_degraded += 1
+        self._recovery("degrade")
 
     def on_step_failure(self) -> None:
         self.n_step_failures += 1
+        if self.obs is not None and self.obs.enabled:
+            self.obs.inc("fault_injections", kind="step_failure")
 
     def sample(self, now_s: float, queue_depth: int, batch_size: int,
                kv_occupancy: float, kv_fragmentation: float) -> None:
         self.samples.append((now_s, queue_depth, batch_size,
                              kv_occupancy, kv_fragmentation))
+        if self.obs is not None and self.obs.enabled:
+            self.obs.set_gauge("serve_queue_depth", queue_depth)
+            self.obs.set_gauge("serve_batch_size", batch_size)
+            self.obs.set_gauge("kv_occupancy", kv_occupancy)
+            self.obs.set_gauge("kv_fragmentation", kv_fragmentation)
 
     def summary(self, makespan_s: float) -> ServeSummary:
         mean = lambda xs: sum(xs) / len(xs) if xs else 0.0

@@ -28,6 +28,7 @@ import heapq
 from dataclasses import asdict, dataclass
 
 from ..core.errors import DeadlockError, ServeConfigError, StepBudgetError
+from ..obs.context import current as _obs
 from ..platform.machine import MachineModel
 from ..tpp.dtypes import DType
 from ..workloads.llm import LlmConfig
@@ -60,7 +61,14 @@ class ServeSimulator:
 
     ``faults`` injects a seeded fault environment; ``resilience``
     enables the recovery policies.  With both left ``None`` the loop is
-    exactly the baseline simulator."""
+    exactly the baseline simulator.
+
+    ``obs`` binds the simulator to one observability context
+    (:class:`repro.Session` passes its own); ``None`` uses whatever
+    context is ambient when :meth:`run` is called.  With observability
+    on, every run mirrors its funnel into counters, its pool pressure
+    into gauges, and each request's admit→prefill→decode→finish
+    timeline into simulated-time trace spans on a ``req <rid>`` track."""
 
     def __init__(self, config: LlmConfig, machine: MachineModel,
                  stack_name: str = "parlooper",
@@ -68,7 +76,7 @@ class ServeSimulator:
                  batcher=None, scheduler: Scheduler | None = None,
                  block_tokens: int = 16, mem_fraction: float = 0.9,
                  cost: ServeCostModel | None = None,
-                 resilience=None, faults=None):
+                 resilience=None, faults=None, obs=None):
         if not isinstance(block_tokens, int) or block_tokens <= 0:
             raise ServeConfigError(
                 f"block_tokens must be a positive integer, got "
@@ -91,6 +99,7 @@ class ServeSimulator:
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.resilience = resilience
         self.faults = faults
+        self.obs = obs
 
     # -- the event loop -------------------------------------------------
     def run(self, requests, max_steps: int = 1_000_000) -> ServeReport:
@@ -105,8 +114,15 @@ class ServeSimulator:
                     r.deadline_s = r.arrival_s + res.deadline_s
         if fplan is not None:
             fplan.stamp(reqs)
-        metrics = ServeMetrics()
+            n_stamped = sum(1 for r in reqs if r.cancel_s is not None)
+        obs = self.obs if self.obs is not None else _obs()
+        timing = obs.tracer.enabled
+        metrics = ServeMetrics(obs=obs if obs.enabled else None)
         metrics.n_submitted = len(reqs)
+        if obs.metrics.enabled and fplan is not None and n_stamped:
+            obs.inc("fault_injections", n_stamped, kind="client_cancel")
+        admit_ts: dict = {}            # rid -> admission time (tracing)
+        sched_ts: dict = {}            # rid -> first prefill schedule time
         waiting: list = []
         running: list = []
         retry_heap: list = []          # (due_s, rid, request)
@@ -116,19 +132,27 @@ class ServeSimulator:
         degraded = False
         hot = cool = 0
         while i < len(reqs) or waiting or running or retry_heap:
+            metrics.now_s = now
             if fplan is not None:
-                self.pool.set_lost_fraction(fplan.lost_fraction(now))
+                lost = fplan.lost_fraction(now)
+                self.pool.set_lost_fraction(lost)
+                if lost > 0.0 and obs.metrics.enabled:
+                    obs.set_gauge("kv_lost_fraction", lost)
             # re-admit backed-off retries that have come due ...
             while retry_heap and retry_heap[0][0] <= now:
                 _, _, req = heapq.heappop(retry_heap)
                 self._admit(req, waiting, retry_heap, metrics, now,
                             degraded)
+                if timing and req in waiting:
+                    admit_ts.setdefault(req.rid, now)
             # ... and admit everything that has arrived by the clock
             while i < len(reqs) and reqs[i].arrival_s <= now:
                 req = reqs[i]
                 i += 1
                 self._admit(req, waiting, retry_heap, metrics, now,
                             degraded)
+                if timing and req in waiting:
+                    admit_ts.setdefault(req.rid, now)
             # hardened: cancel abandoned work, time out missed deadlines
             if res is not None:
                 self._reap(waiting, running, metrics, now)
@@ -184,6 +208,8 @@ class ServeSimulator:
                         continue
                     self.pool.grow(req.rid, target)
                 prefill.append((req, chunk, chunk >= req.prefill_remaining))
+                if timing:
+                    sched_ts.setdefault(req.rid, now)
 
             if not decode and not prefill:
                 holders = [r for r in waiting if r.cached > 0]
@@ -220,9 +246,14 @@ class ServeSimulator:
                                         n_emit)
             failed = False
             if fplan is not None:
-                dt *= fplan.multiplier(now)    # stragglers stretch steps
+                mult = fplan.multiplier(now)   # stragglers stretch steps
+                dt *= mult
                 failed = fplan.step_fails(steps)
+                if mult != 1.0 and obs.metrics.enabled:
+                    obs.inc("fault_injections", kind="straggler_step")
+            step_start = now
             now += dt
+            metrics.now_s = now
 
             if failed:
                 # transient step failure: the wall time is spent but the
@@ -258,6 +289,12 @@ class ServeSimulator:
 
             metrics.sample(now, len(waiting), len(decode) + len(prefill),
                            self.pool.occupancy, self.pool.fragmentation)
+            if obs.metrics.enabled:
+                obs.set_gauge("kv_free_blocks", self.pool.free_blocks)
+            if timing:
+                obs.tracer.complete("step", step_start, now, track="serve",
+                                    decode=len(decode),
+                                    prefill=len(prefill), failed=failed)
             steps += 1
             if steps > max_steps:
                 raise StepBudgetError(
@@ -265,6 +302,8 @@ class ServeSimulator:
                     snapshot=self._snapshot(now, steps, waiting, running,
                                             metrics))
 
+        if timing:
+            self._emit_timelines(obs.tracer, reqs, admit_ts, sched_ts, now)
         return ServeReport(
             summary=metrics.summary(now),
             metrics=metrics,
@@ -274,6 +313,35 @@ class ServeSimulator:
             stack_name=self.stack_name,
             batcher_name=self.batcher.name,
             n_steps=steps)
+
+    def _emit_timelines(self, tracer, reqs, admit_ts, sched_ts,
+                        end_s) -> None:
+        """One simulated-time track per request: an enclosing ``request``
+        span with ``queued``/``prefill``/``decode`` phases inside it
+        (preemption instants were emitted live by the metrics mirror)."""
+        for r in reqs:
+            track = f"req {r.rid}"
+            finish = r.finish_s if r.finish_s is not None else end_s
+            tracer.complete("request", r.arrival_s, finish, track=track,
+                            state=r.state.value, prompt=r.prompt_tokens,
+                            generated=r.generated,
+                            preemptions=r.preemptions)
+            admit = admit_ts.get(r.rid)
+            if admit is not None:
+                tracer.instant("admit", track=track, ts=admit)
+            sched = sched_ts.get(r.rid)
+            if sched is None:
+                continue
+            queued_from = admit if admit is not None else r.arrival_s
+            if sched > queued_from:
+                tracer.complete("queued", queued_from, sched, track=track)
+            first = r.first_token_s
+            if first is None:
+                continue
+            tracer.complete("prefill", sched, first, track=track)
+            if r.finish_s is not None and r.finish_s > first:
+                tracer.complete("decode", first, r.finish_s, track=track,
+                                tokens=r.generated)
 
     # -- admission, reaping, recovery -----------------------------------
     def _validate(self, requests) -> list:

@@ -25,7 +25,9 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+from .._compat import renamed_kwarg
 from ..core.threaded_loop import ThreadedLoop
+from ..obs.context import current as _obs
 from ..platform.machine import CoreCluster, MachineModel
 from ..tpp.dtypes import DType
 from .lru import CacheHierarchy, LRUCache
@@ -222,7 +224,9 @@ def simulate_traces(traces, machine: MachineModel,
     )
 
 
-def simulate_flat(trace: ThreadTrace, machine: MachineModel, nthreads: int,
+@renamed_kwarg("nthreads", "num_threads")
+def simulate_flat(trace: ThreadTrace, machine: MachineModel,
+                  num_threads: int,
                   dispatch_overhead: bool = True) -> SimResult:
     """Greedy list-scheduling of a flat trace over heterogeneous cores.
 
@@ -230,6 +234,7 @@ def simulate_flat(trace: ThreadTrace, machine: MachineModel, nthreads: int,
     available core, so fast P-cores absorb more iterations than slow
     E-cores (the ADL mechanism of Fig 7).
     """
+    nthreads = num_threads
     cores, private_bws = _build_cores(machine, nthreads)
     shared = _SharedState(machine, nthreads)
     lead = machine.clusters[0]
@@ -272,15 +277,17 @@ def simulate(loop: ThreadedLoop, sim_body, machine: MachineModel,
     nest re-execution.  Replay itself is unchanged, so results are
     bit-identical with or without the cache.
     """
-    if loop.plan.parsed.schedule == "dynamic":
-        flat = trace_flat(loop, sim_body, trace_cache=trace_cache,
-                          body_key=body_key)
-        return simulate_flat(flat, machine, loop.num_threads,
-                             dispatch_overhead)
-    if trace_cache is not None:
-        traces = [trace_cache.thread_trace(loop, sim_body, tid,
-                                           body_key=body_key)
-                  for tid in range(loop.num_threads)]
-    else:
-        traces = trace_threaded_loop(loop, sim_body)
-    return simulate_traces(traces, machine, dispatch_overhead)
+    with _obs().span("simulate", spec=loop.spec_string,
+                     machine=machine.name):
+        if loop.plan.parsed.schedule == "dynamic":
+            flat = trace_flat(loop, sim_body, trace_cache=trace_cache,
+                              body_key=body_key)
+            return simulate_flat(flat, machine, loop.num_threads,
+                                 dispatch_overhead)
+        if trace_cache is not None:
+            traces = [trace_cache.thread_trace(loop, sim_body, tid,
+                                               body_key=body_key)
+                      for tid in range(loop.num_threads)]
+        else:
+            traces = trace_threaded_loop(loop, sim_body)
+        return simulate_traces(traces, machine, dispatch_overhead)

@@ -29,6 +29,7 @@ import threading
 from collections import OrderedDict
 
 from ..core.threaded_loop import ThreadedLoop
+from ..obs.context import current as _obs
 from .reuse import CompiledTrace, compile_trace
 from .trace import ThreadTrace, _serialize_spec, trace_threaded_loop
 
@@ -108,22 +109,30 @@ class TraceCache:
     # -- core get-or-build ------------------------------------------------
 
     def _get(self, key, build):
+        obs = _obs()
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                if obs.enabled:
+                    obs.inc("cache_events", cache="trace", kind="hit")
                 return entry
         # build outside the lock (tracing can be slow); a racing duplicate
         # build produces an identical trace and is harmless
-        value = build()
+        with obs.span("trace_capture", kind=key[0]):
+            value = build()
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                if obs.enabled:
+                    obs.inc("cache_events", cache="trace", kind="hit")
                 return existing
             self.misses += 1
+            if obs.enabled:
+                obs.inc("cache_events", cache="trace", kind="miss")
             self._entries[key] = value
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.threaded_loop import ThreadedLoop
+from ..obs.context import current as _obs
 from ..platform.machine import MachineModel
 from .lru import CacheHierarchy
 from .reuse import hit_levels
@@ -76,28 +77,35 @@ def predict(loop: ThreadedLoop, sim_body, machine: MachineModel,
     ``ind``; pass a stable *body_key* when the closure is rebuilt per
     call.
     """
-    if trace_cache is not None:
-        return _predict_memoized(loop, sim_body, machine, sample_threads,
-                                 total_flops, trace_cache, body_key)
-    if sample_threads is not None and sample_threads < loop.num_threads:
-        step = max(1, loop.num_threads // sample_threads)
-        tids = list(range(0, loop.num_threads, step))[:sample_threads]
-        # include the last tid: static block distributions put the
-        # remainder-starved thread at the end
-        if tids[-1] != loop.num_threads - 1:
-            tids.append(loop.num_threads - 1)
-        traces = trace_threaded_loop(loop, sim_body, tids=tids)
-        pred = predict_traces(traces, machine, loop.num_threads, None)
-        flops = (total_flops if total_flops is not None
-                 else pred.total_flops * loop.num_threads / len(traces))
-        return PerfPrediction(pred.seconds, flops,
-                              pred.per_thread_seconds, pred.hit_fractions)
-    traces = trace_threaded_loop(loop, sim_body)
-    pred = predict_traces(traces, machine, loop.num_threads, sample_threads)
-    if total_flops is not None:
-        pred = PerfPrediction(pred.seconds, total_flops,
-                              pred.per_thread_seconds, pred.hit_fractions)
-    return pred
+    with _obs().span("predict", spec=loop.spec_string,
+                     machine=machine.name,
+                     memoized=trace_cache is not None):
+        if trace_cache is not None:
+            return _predict_memoized(loop, sim_body, machine,
+                                     sample_threads, total_flops,
+                                     trace_cache, body_key)
+        if sample_threads is not None and sample_threads < loop.num_threads:
+            step = max(1, loop.num_threads // sample_threads)
+            tids = list(range(0, loop.num_threads, step))[:sample_threads]
+            # include the last tid: static block distributions put the
+            # remainder-starved thread at the end
+            if tids[-1] != loop.num_threads - 1:
+                tids.append(loop.num_threads - 1)
+            traces = trace_threaded_loop(loop, sim_body, tids=tids)
+            pred = predict_traces(traces, machine, loop.num_threads, None)
+            flops = (total_flops if total_flops is not None
+                     else pred.total_flops * loop.num_threads / len(traces))
+            return PerfPrediction(pred.seconds, flops,
+                                  pred.per_thread_seconds,
+                                  pred.hit_fractions)
+        traces = trace_threaded_loop(loop, sim_body)
+        pred = predict_traces(traces, machine, loop.num_threads,
+                              sample_threads)
+        if total_flops is not None:
+            pred = PerfPrediction(pred.seconds, total_flops,
+                                  pred.per_thread_seconds,
+                                  pred.hit_fractions)
+        return pred
 
 
 def _thread_view(machine: MachineModel, nthreads: int) -> tuple:
@@ -225,9 +233,11 @@ def _predict_compiled(compiled, machine: MachineModel,
     level_bytes = np.zeros(n_levels + 1, dtype=np.float64)
     per_thread_s = []
     total_flops = 0.0
+    obs = _obs()
     for ct in compiled:
-        levels, _stats = hit_levels(ct.key_ids, ct.footprint, capacities,
-                                    memo=ct.reuse_memo)
+        with obs.span("reuse_sim", events=ct.n_events):
+            levels, _stats = hit_levels(ct.key_ids, ct.footprint,
+                                        capacities, memo=ct.reuse_memo)
         if ct.n_events == 0:
             per_thread_s.append(0.0)
             continue

@@ -22,6 +22,7 @@ import os
 import tempfile
 import threading
 
+from ..obs.context import current as _obs
 from .generator import Candidate
 from .search import TuneOutcome
 
@@ -57,7 +58,11 @@ class EvalCache:
                 self.misses += 1
             else:
                 self.hits += 1
-            return entry
+        obs = _obs()
+        if obs.enabled:
+            obs.inc("cache_events", cache="eval",
+                    kind="miss" if entry is None else "hit")
+        return entry
 
     def store(self, key: str, score: float, seconds: float) -> None:
         with self._lock:

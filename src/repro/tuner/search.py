@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass
 
 from ..core.errors import ExecutionError, SpecError
+from ..obs.context import current as _obs
 from ..platform.machine import MachineModel
 from ..simulator.engine import simulate
 from ..simulator.perfmodel import predict
@@ -171,6 +172,13 @@ def search(candidates, evaluator, top_k: int | None = None,
     fraction is evaluated by the full *evaluator*, and the rest are
     counted in ``result.pruned``.  Ties break on candidate order.
     """
+    with _obs().span("search"):
+        return _search(candidates, evaluator, top_k, workers, screen,
+                       screen_keep, verify)
+
+
+def _search(candidates, evaluator, top_k, workers, screen, screen_keep,
+            verify) -> SearchResult:
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if screen is not None and not 0.0 < screen_keep <= 1.0:
@@ -205,21 +213,25 @@ def search(candidates, evaluator, top_k: int | None = None,
             else:
                 clean.append(cand)
         candidates = clean
+    obs = _obs()
     if screen is not None and len(candidates) > 1:
-        screened = _evaluate(candidates, screen, workers)
-        valid_idx = []
-        for i, out in enumerate(screened):
-            if out.valid:
-                valid_idx.append(i)
-            else:
-                skipped += 1
-                failures.append(SearchFailure(candidates[i], out.error))
-        keep = max(1, math.ceil(len(valid_idx) * screen_keep))
-        ranked_idx = sorted(valid_idx,
-                            key=lambda i: (-screened[i].score, i))
-        survivors = sorted(ranked_idx[:keep])
-        pruned = len(valid_idx) - len(survivors)
-        candidates = [candidates[i] for i in survivors]
+        with obs.span("screen", candidates=len(candidates)):
+            screened = _evaluate(candidates, screen, workers)
+            valid_idx = []
+            for i, out in enumerate(screened):
+                if out.valid:
+                    valid_idx.append(i)
+                else:
+                    skipped += 1
+                    failures.append(SearchFailure(candidates[i], out.error))
+            keep = max(1, math.ceil(len(valid_idx) * screen_keep))
+            ranked_idx = sorted(valid_idx,
+                                key=lambda i: (-screened[i].score, i))
+            survivors = sorted(ranked_idx[:keep])
+            pruned = len(valid_idx) - len(survivors)
+            candidates = [candidates[i] for i in survivors]
+        if obs.enabled:
+            obs.set_gauge("screen_survivors", len(candidates))
     outcomes = _evaluate(candidates, evaluator, workers)
     for out in outcomes:
         if not out.valid:
@@ -231,17 +243,23 @@ def search(candidates, evaluator, top_k: int | None = None,
     if top_k is not None:
         ranked = ranked[:top_k]
     evaluated = sum(1 for o in outcomes if o.valid)
+    if obs.enabled:
+        for kind, n in (("evaluated", evaluated), ("skipped", skipped),
+                        ("pruned", pruned), ("racy", len(racy))):
+            if n:
+                obs.inc("tuner_candidates", n, kind=kind)
     return SearchResult(ranked, evaluated=evaluated, skipped=skipped,
                         wall_seconds=wall, failures=tuple(failures),
                         pruned=pruned, racy=tuple(racy))
 
 
 def _safe_eval(evaluator, candidate: Candidate) -> TuneOutcome:
-    try:
-        return evaluator(candidate)
-    except (SpecError, ExecutionError) as exc:
-        return TuneOutcome(candidate, float("-inf"), float("inf"),
-                           valid=False, error=str(exc))
+    with _obs().span("candidate", label=candidate.label()):
+        try:
+            return evaluator(candidate)
+        except (SpecError, ExecutionError) as exc:
+            return TuneOutcome(candidate, float("-inf"), float("inf"),
+                               valid=False, error=str(exc))
 
 
 def _evaluate(candidates, evaluator, workers) -> list:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._compat import renamed_kwarg
 from ..baselines.stacks import STACKS, StackModel
 from ..platform.machine import MachineModel
 from ..tpp.dropout import DropoutTPP
@@ -243,14 +244,15 @@ def bert_training_performance(config: BertConfig, machine: MachineModel,
     return batch / step
 
 
+@renamed_kwarg("nthreads", "num_threads")
 def bert_inference_performance(config: BertConfig, machine: MachineModel,
                                stack_name: str = "parlooper",
                                batch: int = 1, seq: int = 384,
                                dtype: DType = DType.BF16,
                                valid_fraction: float = 1.0,
-                               nthreads: int | None = None) -> float:
+                               num_threads: int | None = None) -> float:
     """Inference latency in seconds per batch (Fig 10 dense side)."""
     stack = STACKS[stack_name]
-    cost = OpCostModel(machine, stack, nthreads=nthreads)
+    cost = OpCostModel(machine, stack, num_threads=num_threads)
     return _encoder_step_seconds(config, batch, seq, cost, dtype,
                                  valid_fraction, backward=False)

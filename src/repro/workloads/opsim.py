@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .._compat import deprecated_alias, renamed_kwarg
 from ..baselines.stacks import STACKS, StackModel
 from ..kernels.gemm import ParlooperGemm
 from ..platform.machine import MachineModel
@@ -31,12 +32,23 @@ class OpCostModel:
 
     machine: MachineModel
     stack: StackModel = STACKS["parlooper"]
-    nthreads: int | None = None
+    num_threads: int | None = None
 
     def __post_init__(self):
-        if self.nthreads is None:
-            self.nthreads = self.machine.total_cores
+        if self.num_threads is None:
+            self.num_threads = self.machine.total_cores
         self._gemm_cache: dict = {}
+
+    @property
+    def nthreads(self) -> int | None:
+        """Deprecated alias of :attr:`num_threads`."""
+        deprecated_alias("OpCostModel.nthreads", "num_threads")
+        return self.num_threads
+
+    @nthreads.setter
+    def nthreads(self, value) -> None:
+        deprecated_alias("OpCostModel.nthreads", "num_threads")
+        self.num_threads = value
 
     # -- contraction ops ---------------------------------------------------
     def _effective_dtype(self, dtype: DType) -> DType:
@@ -72,7 +84,7 @@ class OpCostModel:
         # marginally at these sizes
         Mr, Nr, Kr = (M // bm) * bm, (N // bn) * bn, (K // bk) * bk
         kernel = ParlooperGemm(Mr, Nr, Kr, bm, bn, bk, dtype=dtype,
-                               num_threads=self.nthreads)
+                               num_threads=self.num_threads)
         res = kernel.simulate(self.machine)
         return res.seconds * (M * N * K) / (Mr * Nr * Kr)
 
@@ -81,7 +93,7 @@ class OpCostModel:
         cfg = dispatch_brgemm(self.machine.isa_for(dtype), dtype,
                               max(1, bm), max(1, bn), max(1, bk))
         peak = (cfg.flops_per_cycle() * self.machine.freq_ghz * GIGA
-                * min(self.nthreads, self.machine.total_cores))
+                * min(self.num_threads, self.machine.total_cores))
         nbytes = (M * K + K * N + M * N) * dtype.nbytes
         bw = self.machine.dram_bw_gbytes * GIGA
         return max(flops / max(peak, 1e-9), nbytes / bw)
@@ -130,7 +142,7 @@ class OpCostModel:
             self._gemm_cache[key] = one
         one = one * (M * N * K) / (key[1] * key[2] * key[3])
         one /= self.stack.contraction_efficiency
-        rounds = -(-count // max(1, self.nthreads))
+        rounds = -(-count // max(1, self.num_threads))
         per_dispatch = (1 if self.stack.fused else count)
         t = one * rounds + per_dispatch * self.stack.op_overhead_us * 1e-6
         if dt is not dtype:
@@ -190,7 +202,7 @@ class OpCostModel:
         bw = self.machine.dram_bw_gbytes * GIGA
         t_mem_dense = (M * K + K * N + M * N) * dtype.nbytes / bw
         peak = (spec.flops_per_cycle(dtype) * self.machine.freq_ghz * GIGA
-                * min(self.nthreads, self.machine.total_cores))
+                * min(self.num_threads, self.machine.total_cores))
         t_comp_dense = max(anchor - t_mem_dense, 2.0 * M * N * K / peak)
         t_comp = t_comp_dense * density / max(chain_eff * irregularity,
                                               1e-9)
@@ -209,7 +221,7 @@ class OpCostModel:
         spec = ISA_SPECS[self.machine.isa_for(DType.F32)]
         vec_peak = (spec.flops_per_cycle(DType.F32) / 2.0
                     * self.machine.freq_ghz * GIGA
-                    * min(self.nthreads, self.machine.total_cores))
+                    * min(self.num_threads, self.machine.total_cores))
         flops = flops_per_elem * elems * n_ops
         trips = 1 if self.stack.fused else n_ops
         nbytes = 2.0 * elems * dtype.nbytes * trips
@@ -229,3 +241,8 @@ class OpCostModel:
         others compute on the full padded sequence (§V-B1).
         """
         return valid_fraction if self.stack.unpad else 1.0
+
+
+# dataclass-generated __init__: the shim wraps it after the fact
+OpCostModel.__init__ = renamed_kwarg("nthreads", "num_threads")(
+    OpCostModel.__init__)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .._compat import renamed_kwarg
 from ..baselines.stacks import STACKS
 from ..platform.machine import MachineModel
 from ..tpp.dtypes import DType
@@ -42,8 +43,9 @@ class SparseBertResult:
 
 def _encoder_times(config: BertConfig, machine: MachineModel, batch: int,
                    seq: int, dtype: DType, sparsity: float, block: int,
-                   nthreads: int | None):
-    cost = OpCostModel(machine, STACKS["parlooper"], nthreads=nthreads)
+                   num_threads: int | None):
+    cost = OpCostModel(machine, STACKS["parlooper"],
+                       num_threads=num_threads)
     tokens = batch * seq
     h, i, L = config.hidden, config.intermediate, config.layers
 
@@ -66,17 +68,18 @@ def _encoder_times(config: BertConfig, machine: MachineModel, batch: int,
     return contractions(False), contractions(True), rest
 
 
+@renamed_kwarg("nthreads", "num_threads")
 def sparse_bert_inference(config: BertConfig, machine: MachineModel,
                           batch: int = 1, seq: int = 384,
                           dtype: DType = DType.BF16,
                           sparsity: float = 0.8, block: int = 8,
-                          nthreads: int | None = 8) -> SparseBertResult:
+                          num_threads: int | None = 8) -> SparseBertResult:
     """Dense vs block-sparse latency plus the Fig 10 roofline.
 
     The paper pins 8 cores per instance for the BS=1 latency experiment.
     """
     dense_c, sparse_c, rest = _encoder_times(
-        config, machine, batch, seq, dtype, sparsity, block, nthreads)
+        config, machine, batch, seq, dtype, sparsity, block, num_threads)
     dense = dense_c + rest
     sparse = sparse_c + rest
     roofline = dense_c / 5.0 + rest   # "maximal speedup of 5x on the

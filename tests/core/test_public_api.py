@@ -1,0 +1,131 @@
+"""The public API surface, asserted exactly.
+
+``repro.__all__`` is a contract: additions and removals must be
+deliberate (update the snapshot here *and* the DESIGN.md migration
+notes).  The deprecation shims for the ``nthreads`` -> ``num_threads``
+rename are exercised from *outside* the package — inside it they are
+errors (see ``filterwarnings`` in pyproject.toml).
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import ParlooperDeprecationWarning
+from repro.platform import SPR
+from repro.serve import ServeCostModel
+from repro.tpp.dtypes import DType
+from repro.workloads import BERT_BASE, LlmConfig, OpCostModel
+from repro.workloads.bert import bert_inference_performance
+from repro.workloads.sparse_bert import sparse_bert_inference
+
+API_SNAPSHOT = [
+    # facade
+    "Session", "ObsConfig", "default_session",
+    "ParlooperDeprecationWarning",
+    # core
+    "ThreadedLoop", "LoopSpecs", "SpecError",
+    # kernels
+    "ParlooperGemm", "ParlooperMlp", "ParlooperConv", "ParlooperSpmm",
+    "ConvSpec",
+    # tpp
+    "BRGemmTPP", "BCSCMatrix", "DType", "Precision", "Ptr",
+    # platform
+    "MachineModel", "SPR", "GVT3", "ZEN4", "ADL",
+    # simulator (default-session wrappers)
+    "simulate", "predict",
+    # serve
+    "ServeSimulator", "TrafficGenerator",
+    # tuner
+    "TuningConstraints", "generate_candidates", "search",
+    # verify
+    "verify_nest", "detect_races", "check_coverage", "run_fuzz",
+    "VerificationError",
+    "__version__",
+]
+
+
+class TestAllSnapshot:
+    def test_exact_all(self):
+        assert repro.__all__ == API_SNAPSHOT
+
+    def test_every_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_no_duplicates(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+
+class TestSessionFacade:
+    def test_module_wrappers_match_session_results(self):
+        g = repro.ParlooperGemm(256, 256, 256, num_threads=4)
+        module_pred = repro.predict(g.gemm_loop, g.sim_body(SPR), SPR,
+                                    total_flops=float(g.flops))
+        sess_pred = g.predict(SPR, session=repro.Session(machine=SPR))
+        assert module_pred.seconds == sess_pred.seconds
+        assert module_pred.total_flops == sess_pred.total_flops
+
+    def test_default_session_is_shared(self):
+        assert repro.default_session() is repro.default_session()
+
+    def test_kernel_methods_accept_explicit_session(self):
+        sess = repro.Session(machine=SPR)
+        g = repro.ParlooperGemm(256, 256, 256, num_threads=4)
+        a = g.simulate(SPR)
+        b = g.simulate(SPR, session=sess)
+        assert a.seconds == b.seconds
+
+
+class TestNthreadsShims:
+    """Old ``nthreads=`` spellings warn once and keep working."""
+
+    def test_opcostmodel_kwarg(self):
+        with pytest.warns(ParlooperDeprecationWarning,
+                          match="nthreads.*deprecated"):
+            cost = OpCostModel(SPR, nthreads=8)
+        assert cost.num_threads == 8
+
+    def test_opcostmodel_property_alias(self):
+        cost = OpCostModel(SPR, num_threads=8)
+        with pytest.warns(ParlooperDeprecationWarning):
+            assert cost.nthreads == 8
+        with pytest.warns(ParlooperDeprecationWarning):
+            cost.nthreads = 4
+        assert cost.num_threads == 4
+
+    def test_servecostmodel_kwarg(self):
+        tiny = LlmConfig("tiny", layers=2, hidden=128, heads=4,
+                         intermediate=512, vocab=512)
+        with pytest.warns(ParlooperDeprecationWarning):
+            cost = ServeCostModel(SPR, config=tiny, dtype=DType.BF16,
+                                  nthreads=8)
+        assert cost.num_threads == 8
+
+    def test_bert_inference_kwarg(self):
+        with pytest.warns(ParlooperDeprecationWarning):
+            old = bert_inference_performance(BERT_BASE, SPR, nthreads=8)
+        new = bert_inference_performance(BERT_BASE, SPR, num_threads=8)
+        assert old == new
+
+    def test_sparse_bert_kwarg(self):
+        with pytest.warns(ParlooperDeprecationWarning):
+            old = sparse_bert_inference(BERT_BASE, SPR, sparsity=0.7,
+                                        nthreads=8)
+        new = sparse_bert_inference(BERT_BASE, SPR, sparsity=0.7,
+                                    num_threads=8)
+        assert old == new
+
+    def test_both_spellings_is_a_type_error(self):
+        with pytest.raises(TypeError, match="both"):
+            OpCostModel(SPR, nthreads=8, num_threads=8)
+        with pytest.raises(TypeError, match="both"):
+            bert_inference_performance(BERT_BASE, SPR, nthreads=8,
+                                       num_threads=8)
+
+    def test_new_spelling_never_warns(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ParlooperDeprecationWarning)
+            OpCostModel(SPR, num_threads=8)
+            bert_inference_performance(BERT_BASE, SPR, num_threads=8)

@@ -1,0 +1,94 @@
+"""MetricRegistry unit tests: labeled series, snapshot, Prometheus."""
+
+import pytest
+
+from repro.obs import NULL_METRICS, MetricRegistry
+
+
+class TestCounters:
+    def test_labeled_series_are_independent(self):
+        reg = MetricRegistry()
+        reg.inc("cache_events", cache="nest", kind="hit")
+        reg.inc("cache_events", 2, cache="nest", kind="miss")
+        assert reg.value("cache_events", cache="nest", kind="hit") == 1
+        assert reg.value("cache_events", cache="nest", kind="miss") == 2
+
+    def test_counters_only_go_up(self):
+        reg = MetricRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_untouched_series_reads_zero(self):
+        assert MetricRegistry().value("nope", a="b") == 0
+
+
+class TestGauges:
+    def test_set_add_and_max_tracking(self):
+        reg = MetricRegistry()
+        g = reg.gauge("kv_occupancy")
+        g.set(0.5)
+        g.add(0.25)
+        g.set(0.1)
+        assert g.get() == pytest.approx(0.1)
+        assert g.max_value == pytest.approx(0.75)
+
+
+class TestHistograms:
+    def test_bucketing_and_mean(self):
+        reg = MetricRegistry()
+        h = reg.histogram("latency", bounds=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.bucket_counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.mean == pytest.approx((0.05 + 0.5 + 5.0) / 3)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().histogram("h", bounds=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_snapshot_is_flat_and_exact(self):
+        reg = MetricRegistry()
+        reg.inc("events", kind="hit")
+        reg.set_gauge("depth", 3)
+        snap = reg.snapshot()
+        assert snap['events{kind="hit"}'] == 1
+        assert snap["depth"] == 3.0
+
+    def test_kind_conflict_is_an_error(self):
+        reg = MetricRegistry()
+        reg.counter("m")
+        with pytest.raises(TypeError):
+            reg.gauge("m")
+
+    def test_collectors_run_at_snapshot_time(self):
+        reg = MetricRegistry()
+        reg.register_collector(
+            lambda r: r.set_gauge("sampled", 42))
+        assert reg.snapshot()["sampled"] == 42.0
+
+    def test_prometheus_text_format(self):
+        reg = MetricRegistry()
+        reg.inc("cache_events", 3, cache="nest", kind="hit")
+        reg.set_gauge("depth", 1.5)
+        reg.histogram("lat", bounds=(1.0,)).observe(0.5)
+        text = reg.prometheus_text()
+        assert "# TYPE cache_events counter" in text
+        assert 'cache_events{cache="nest",kind="hit"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+
+
+class TestNullMetrics:
+    def test_noops(self):
+        NULL_METRICS.inc("x", 5, a="b")
+        NULL_METRICS.set_gauge("y", 1.0)
+        NULL_METRICS.observe("z", 0.5)
+        assert not NULL_METRICS.enabled
+        assert NULL_METRICS.snapshot() == {}
+        assert NULL_METRICS.prometheus_text() == ""
+        assert NULL_METRICS.value("x", a="b") == 0

@@ -1,0 +1,169 @@
+"""Serve observability: exact counters, request timelines, no drift.
+
+Mirrors the fixtures of ``tests/serve/test_server.py`` — a tiny decoder
+on a shrunken SPR — but drives everything through ``Session.serve`` so
+counters land on the session registry and timelines on its tracer.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import ObsConfig, Session
+from repro.platform import SPR
+from repro.serve import Request, ServeCostModel, TrafficGenerator
+from repro.tpp.dtypes import DType
+from repro.workloads import LlmConfig
+
+TINY = LlmConfig("tiny", layers=4, hidden=256, heads=8, intermediate=1024,
+                 vocab=1024)
+
+
+def tiny_machine(n_blocks, block_tokens=16):
+    bytes_needed = TINY.weight_bytes(DType.BF16) \
+        + n_blocks * block_tokens * TINY.kv_bytes_per_token(DType.BF16)
+    return replace(SPR, dram_capacity_gbytes=bytes_needed / (1 << 30))
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return ServeCostModel.for_stack(TINY, SPR)
+
+
+def tick_session(n_blocks=256):
+    return Session(machine=tiny_machine(n_blocks),
+                   obs=ObsConfig(clock="tick"))
+
+
+def run(sess, cost, reqs, n_blocks=256, **kw):
+    simulator = sess.serve(TINY, machine=tiny_machine(n_blocks),
+                           cost=cost, mem_fraction=1.0, **kw)
+    return simulator.run(reqs)
+
+
+def traffic(n=20):
+    return TrafficGenerator(rate_rps=200.0, seed=11, min_prompt=16,
+                            max_prompt=64, mean_prompt=32,
+                            mean_new_tokens=8,
+                            max_new_tokens=16).generate(n)
+
+
+def burst(n, prompt=64, new=16):
+    return [Request(rid=i, arrival_s=0.0, prompt_tokens=prompt,
+                    max_new_tokens=new) for i in range(n)]
+
+
+class TestCountersMatchSummary:
+    def test_finished_and_tokens_exact(self, cost):
+        sess = tick_session()
+        s = run(sess, cost, traffic()).summary
+        m = sess.metrics
+        assert m.value("serve_requests", event="finished") == s.n_finished
+        assert m.value("serve_tokens") == s.generated_tokens
+        assert m.value("serve_requests", event="rejected") == s.n_rejected
+        assert m.value("serve_preemptions") == s.n_preemptions
+
+    def test_preemptions_under_pressure(self, cost):
+        sess = tick_session(n_blocks=24)
+        s = run(sess, cost, burst(6), n_blocks=24).summary
+        assert s.n_preemptions > 0
+        assert sess.metrics.value("serve_preemptions") == s.n_preemptions
+        preempts = [e for e in sess.tracer.events()
+                    if e.name == "preempt" and e.kind == "instant"]
+        assert len(preempts) == s.n_preemptions
+        # instants carry simulated time on the request's own track
+        assert all(e.track.startswith("req ") for e in preempts)
+
+    def test_kv_gauges_sampled(self, cost):
+        sess = tick_session()
+        run(sess, cost, traffic())
+        snap = sess.metrics.snapshot()
+        assert 0.0 <= snap["kv_occupancy"] <= 1.0
+        assert snap["kv_free_blocks"] >= 0
+        assert "serve_batch_size" in snap
+
+
+class TestRequestTimelines:
+    def test_every_request_gets_a_track_with_lifecycle_spans(self, cost):
+        sess = tick_session()
+        reqs = traffic(8)
+        s = run(sess, cost, reqs).summary
+        assert s.n_finished == len(reqs)
+        for r in reqs:
+            track = f"req {r.rid}"
+            evs = [e for e in sess.tracer.events() if e.track == track]
+            names = {e.name for e in evs}
+            assert {"request", "admit", "prefill"} <= names
+            req_span = next(e for e in evs if e.name == "request")
+            assert req_span.start_s == r.arrival_s
+            assert req_span.end_s == r.finish_s
+            if r.finish_s > r.first_token_s:   # >1 generated token
+                decode = next(e for e in evs if e.name == "decode")
+                assert decode.start_s == r.first_token_s
+                assert decode.end_s == r.finish_s
+
+    def test_step_spans_on_serve_track(self, cost):
+        sess = tick_session()
+        rep = run(sess, cost, traffic(5))
+        steps = sess.tracer.spans("step")
+        assert len(steps) == rep.n_steps
+        assert all(e.track == "serve" for e in steps)
+
+    def test_timelines_export_to_chrome_json(self, cost, tmp_path):
+        sess = tick_session()
+        run(sess, cost, traffic(5))
+        import json
+        path = sess.write_trace(str(tmp_path / "serve_trace.json"))
+        with open(path) as fh:
+            doc = json.load(fh)
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert {"request", "prefill", "decode", "step"} <= names
+
+
+class TestRecoveryCounters:
+    def test_timeouts_counted_exactly(self, cost):
+        from repro.resilience import ResilienceConfig
+        sess = tick_session(n_blocks=64)
+        s = run(sess, cost, burst(8), n_blocks=64,
+                resilience=ResilienceConfig(
+                    deadline_s=1e-6, retry=None, degrade=None)).summary
+        assert s.n_timed_out > 0
+        m = sess.metrics
+        assert m.value("serve_requests", event="timed_out") == s.n_timed_out
+        assert m.value("recovery_actions", action="timeout") == s.n_timed_out
+
+    def test_client_cancel_faults_counted(self, cost):
+        from repro.resilience import (FaultPlan, FaultWindow,
+                                      ResilienceConfig)
+        sess = tick_session()
+        # every client hangs up; a straggler keeps service slower than
+        # client patience so cancellations actually land in flight
+        plan = FaultPlan(seed=2, p_cancel=1.0, cancel_patience_s=0.01,
+                         straggler_windows=(FaultWindow(0.0, 1e9, 50.0),))
+        s = run(sess, cost, burst(24),
+                resilience=ResilienceConfig(deadline_s=None, retry=None,
+                                            degrade=None),
+                faults=plan).summary
+        m = sess.metrics
+        # every request got a cancel stamp; a subset lands in flight
+        assert m.value("fault_injections", kind="client_cancel") == 24
+        assert m.value("fault_injections", kind="straggler_step") > 0
+        assert s.n_cancelled > 0
+        assert m.value("serve_requests", event="cancelled") == s.n_cancelled
+        assert m.value("recovery_actions", action="cancel") == s.n_cancelled
+
+
+class TestNoBehaviorDrift:
+    def test_summaries_identical_with_obs_on_and_off(self, cost):
+        on = run(tick_session(), cost, traffic()).summary
+        off_sess = Session(machine=tiny_machine(256),
+                           obs=ObsConfig.disabled())
+        off = run(off_sess, cost, traffic()).summary
+        assert on == off
+
+    def test_disabled_session_serve_records_nothing(self, cost):
+        sess = Session(machine=tiny_machine(256),
+                       obs=ObsConfig.disabled())
+        run(sess, cost, traffic(5))
+        assert len(sess.tracer) == 0
+        assert sess.metrics.snapshot() == {}

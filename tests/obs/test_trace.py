@@ -1,0 +1,163 @@
+"""Tracer unit tests: nesting, deterministic replay, Chrome export."""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_TRACER, TickClock, Tracer
+
+
+def tick_tracer(**kw):
+    return Tracer(clock=TickClock(), **kw)
+
+
+class TestSpans:
+    def test_nesting_records_root_to_self_paths(self):
+        tr = tick_tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+            with tr.span("inner"):
+                pass
+        paths = [e.path for e in tr.events()]
+        # children close before the parent
+        assert paths == [("outer", "inner"), ("outer", "inner"), ("outer",)]
+        outer = tr.spans("outer")[0]
+        inner = tr.spans("inner")
+        assert all(outer.start_s < e.start_s and e.end_s < outer.end_s
+                   for e in inner)
+
+    def test_span_args_are_sorted_pairs(self):
+        tr = tick_tracer()
+        with tr.span("s", zulu=1, alpha=2):
+            pass
+        assert tr.events()[0].args == (("alpha", 2), ("zulu", 1))
+
+    def test_decorator_names_span_after_function(self):
+        tr = tick_tracer()
+
+        @tr.trace()
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert tr.span_names() == {"work"}
+
+    def test_instant_uses_explicit_simulated_ts(self):
+        tr = tick_tracer()
+        tr.instant("evt", track="req 0", ts=12.5, detail="x")
+        (e,) = tr.events()
+        assert (e.kind, e.start_s, e.end_s, e.track) \
+            == ("instant", 12.5, 12.5, "req 0")
+
+    def test_complete_records_pretimed_span(self):
+        tr = tick_tracer()
+        tr.complete("request", 1.0, 3.0, track="req 7", tokens=4)
+        (e,) = tr.events()
+        assert e.kind == "span" and e.duration_s == 2.0
+        assert e.track == "req 7"
+
+    def test_buffer_cap_counts_drops(self):
+        tr = tick_tracer(max_events=2)
+        for _ in range(5):
+            with tr.span("s"):
+                pass
+        assert len(tr) == 2
+        assert tr.dropped == 3
+
+
+class TestDeterministicReplay:
+    def run_workload(self):
+        tr = tick_tracer()
+        with tr.span("compile", spec="aBC"):
+            with tr.span("parser"):
+                pass
+            with tr.span("plan"):
+                pass
+        tr.instant("mark", ts=0.5)
+        return tr
+
+    def test_two_runs_are_byte_identical(self):
+        a = json.dumps(self.run_workload().chrome_trace(), sort_keys=True)
+        b = json.dumps(self.run_workload().chrome_trace(), sort_keys=True)
+        assert a == b
+
+    def test_tick_clock_readings_are_unique_and_monotonic(self):
+        clk = TickClock(tick=1e-6)
+        vals = [clk() for _ in range(10)]
+        assert vals == sorted(set(vals))
+        assert clk.readings == 10
+
+
+class TestChromeExport:
+    def test_trace_event_structure(self):
+        tr = tick_tracer()
+        with tr.span("outer"):
+            pass
+        tr.instant("pt", track="req 1", ts=0.25)
+        doc = tr.chrome_trace()
+        evs = doc["traceEvents"]
+        meta = [e for e in evs if e["ph"] == "M"]
+        spans = [e for e in evs if e["ph"] == "X"]
+        instants = [e for e in evs if e["ph"] == "i"]
+        # one thread_name metadata record per track, main sorted first
+        assert [m["args"]["name"] for m in meta] == ["main", "req 1"]
+        assert all(m["name"] == "thread_name" for m in meta)
+        assert spans[0]["name"] == "outer" and "dur" in spans[0]
+        assert instants[0]["s"] == "t"
+        assert all(e["pid"] == 1 for e in evs)
+
+    def test_write_chrome_is_valid_json(self, tmp_path):
+        tr = tick_tracer()
+        with tr.span("s"):
+            pass
+        path = tr.write_chrome(str(tmp_path / "trace.json"))
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert doc["traceEvents"]
+
+
+class TestTextFlamegraph:
+    def test_folded_weights_self_time(self):
+        tr = tick_tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        lines = tr.folded()
+        assert any(line.startswith("main;a;b ") for line in lines)
+        # parent self-time excludes the child's total
+        a_line = next(line for line in lines
+                      if line.startswith("main;a "))
+        b_line = next(line for line in lines
+                      if line.startswith("main;a;b "))
+        assert int(a_line.rsplit(" ", 1)[1]) >= 0
+        assert int(b_line.rsplit(" ", 1)[1]) > 0
+
+    def test_format_tree_mentions_counts(self):
+        tr = tick_tracer()
+        for _ in range(3):
+            with tr.span("s"):
+                pass
+        assert "x3" in tr.format_tree()
+
+
+class TestNullTracer:
+    def test_noops(self):
+        NULL_TRACER.instant("x")
+        NULL_TRACER.complete("x", 0.0, 1.0)
+        with NULL_TRACER.span("x"):
+            pass
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.events() == ()
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.chrome_trace()["traceEvents"] == []
+
+
+class TestValidation:
+    def test_max_events_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)
+
+    def test_tick_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TickClock(tick=0.0)

@@ -167,18 +167,18 @@ class TestSparseBert:
     def test_fig10_speedups(self):
         for machine, lo, hi in ((SPR, 1.4, 2.3), (GVT3, 1.5, 3.0),
                                 (ZEN4, 2.0, 3.3)):
-            r = sparse_bert_inference(BERT_BASE, machine, nthreads=8)
+            r = sparse_bert_inference(BERT_BASE, machine, num_threads=8)
             assert lo < r.speedup < hi, machine.name
 
     def test_roofline_never_exceeded(self):
         for machine in (SPR, GVT3, ZEN4):
-            r = sparse_bert_inference(BERT_BASE, machine, nthreads=8)
+            r = sparse_bert_inference(BERT_BASE, machine, num_threads=8)
             assert r.sparse_s >= r.roofline_s * 0.999
             assert 0.5 < sparse_bert_roofline(r) <= 1.0
 
     def test_spr_small_blocks_worse(self):
-        r8 = sparse_bert_inference(BERT_BASE, SPR, block=8, nthreads=8)
-        r32 = sparse_bert_inference(BERT_BASE, SPR, block=32, nthreads=8)
+        r8 = sparse_bert_inference(BERT_BASE, SPR, block=8, num_threads=8)
+        r32 = sparse_bert_inference(BERT_BASE, SPR, block=32, num_threads=8)
         assert r32.sparse_s < r8.sparse_s  # AMX chain mechanism
 
 

@@ -5,16 +5,25 @@ Simulates GPT-J-6B serving Poisson traffic on SPR: request -> scheduler
 blocks) -> cost model (engine-priced step) -> metrics.
 
 Run:  python examples/serve_demo.py [--trace trace.json]
+      python examples/serve_demo.py --replicas 4 --router least_kv_loaded
 
 ``--trace`` re-runs the winning configuration inside an
 observability-enabled :class:`repro.Session` and writes its Chrome
 ``trace_event`` file — open it in https://ui.perfetto.dev to see one
 timeline track per request (admit -> queued -> prefill -> decode, with
 preemption instants) plus the per-step serve track.
+
+``--replicas N`` switches to fleet mode: N heterogeneous replicas under
+one lockstep clock, a flash-crowd arrival trace, one mid-run replica
+death whose in-flight work fails over, and the chosen ``--router``
+policy.  With ``--trace`` the exported file gains one step track per
+replica (``replica 0`` ... ``replica N-1``) plus a ``fleet`` track
+carrying death/revive/scale instants.
 """
 
 import argparse
 import copy
+import sys
 
 from repro import ObsConfig, Session
 from repro.platform import SPR
@@ -27,7 +36,75 @@ args = argparse.ArgumentParser(description=__doc__)
 args.add_argument("--trace", metavar="PATH", default=None,
                   help="write a Perfetto-loadable trace of the "
                        "continuous-batching run to PATH")
+args.add_argument("--replicas", type=int, metavar="N", default=0,
+                  help="fleet mode: simulate N replicas of the hetero "
+                       "cluster preset instead of one server")
+args.add_argument("--router", default="least_kv_loaded",
+                  help="fleet routing policy (round_robin, "
+                       "least_kv_loaded, slo_sticky, prefix_affinity)")
 opts = args.parse_args()
+
+
+def fleet_demo() -> None:
+    from repro.fleet import FlashCrowdTrace, ROUTERS
+    from repro.platform import cluster_preset
+    from repro.resilience import (FleetFaultPlan, ReplicaFault,
+                                  ResilienceConfig, check_fleet_invariants)
+    from repro.workloads import LlmConfig
+
+    if opts.router not in ROUTERS:
+        sys.exit(f"unknown --router {opts.router!r}; "
+                 f"pick one of {sorted(ROUTERS)}")
+    machines = (cluster_preset("hetero6") * 3)[:opts.replicas]
+    if len(machines) < opts.replicas:
+        sys.exit("--replicas supports up to "
+                 f"{len(cluster_preset('hetero6') * 3)} slots")
+    config = LlmConfig("tiny", layers=4, hidden=256, heads=8,
+                       intermediate=1024, vocab=8192)
+    trace = FlashCrowdTrace(seed=7, n_requests=5000, base_rps=400,
+                            flash_at_s=4, flash_len_s=4, flash_mult=6,
+                            mean_prompt=384, max_prompt=2048,
+                            prompt_sigma=1.2, mean_new_tokens=48,
+                            max_new_tokens=256)
+    faults = FleetFaultPlan(seed=9, deaths=(
+        ReplicaFault(replica=0, at_s=5.0, revive_s=9.0),))
+    sess = Session(obs=ObsConfig(clock="tick") if opts.trace
+                   else ObsConfig(tracing=False))
+    fleet = sess.fleet(config, machines=machines, router=opts.router,
+                       faults=faults,
+                       resilience=ResilienceConfig(deadline_s=2.0,
+                                                   degrade=None),
+                       mem_fraction=0.001)
+    print(f"fleet: {len(machines)} replicas "
+          f"({', '.join(m.name for m in machines)}), router "
+          f"{opts.router}, 5000-request flash crowd, replica 0 dies "
+          "at t=5 s")
+    report = fleet.run(trace, keep_requests=False)
+    s = report.summary
+    print(f"\n  goodput {s.goodput_tokens_per_s:8.0f} tok/s | "
+          f"finished {s.n_finished} | timed out {s.n_timed_out} | "
+          f"failovers {s.n_failovers} | TTFT p99 {s.ttft_p99_s:.3f} s")
+    for rep in report.replica_reports:
+        rs = rep.summary
+        print(f"  replica {rep.replica_id} ({rep.machine_name:12s}) "
+              f"submitted {rs.n_submitted:5d} finished {rs.n_finished:5d} "
+              f"failed over {rs.n_failed_over:3d}")
+    violations = check_fleet_invariants(fleet, report)
+    print(f"  conservation: {s.n_terminal}/{s.n_injected} terminal, "
+          f"{'OK' if not violations else violations}")
+    if opts.trace:
+        path = sess.write_trace(opts.trace)
+        tracks = {ev.track for ev in sess.tracer.events()}
+        replica_tracks = sorted(t for t in tracks
+                                if t.startswith("replica "))
+        print(f"\nwrote {len(sess.tracer.events())} trace events to "
+              f"{path} (tracks: {', '.join(replica_tracks)} + fleet; "
+              "open in https://ui.perfetto.dev)")
+
+
+if opts.replicas:
+    fleet_demo()
+    sys.exit(0)
 
 traffic = TrafficGenerator(rate_rps=60.0, seed=7, mean_prompt=256,
                            max_prompt=1024, mean_new_tokens=32,

@@ -35,6 +35,7 @@ from .kernels import (ConvSpec, ParlooperConv, ParlooperGemm, ParlooperMlp,
 from .obs import ObsConfig
 from .platform import ADL, GVT3, SPR, ZEN4, MachineModel
 from .serve import ServeSimulator, TrafficGenerator
+from .fleet import FleetSimulator
 from .session import Session, default_session, predict, search, simulate
 from .tpp import BCSCMatrix, BRGemmTPP, DType, Precision, Ptr
 from .tuner import TuningConstraints, generate_candidates
@@ -60,6 +61,8 @@ __all__ = [
     "simulate", "predict",
     # serve
     "ServeSimulator", "TrafficGenerator",
+    # fleet
+    "FleetSimulator",
     # tuner
     "TuningConstraints", "generate_candidates", "search",
     # verify

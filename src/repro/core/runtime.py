@@ -31,13 +31,13 @@ EXECUTION_MODES = ("serial", "threads")
 class NestContext:
     """Shared per-invocation state: barriers and dynamic-schedule counters."""
 
-    def __init__(self, nthreads: int, grid=(1, 1, 1), use_real_barrier=False):
-        self.nthreads = nthreads
+    def __init__(self, num_threads: int, grid=(1, 1, 1), use_real_barrier=False):
+        self.num_threads = num_threads
         self.grid = grid
         self._lock = threading.Lock()
         self._counters: dict = {}
-        if use_real_barrier and nthreads > 1:
-            self._barrier = threading.Barrier(nthreads)
+        if use_real_barrier and num_threads > 1:
+            self._barrier = threading.Barrier(num_threads)
         else:
             self._barrier = None
 
@@ -77,55 +77,55 @@ def run_nest(nest_func, num_threads: int, body_func, init_func=None,
                   term_func, grid, execution)
 
 
-def _run_nest(nest_func, nthreads: int, body_func, init_func,
+def _run_nest(nest_func, num_threads: int, body_func, init_func,
               term_func, grid, execution: str) -> None:
     if execution not in EXECUTION_MODES:
         raise ExecutionError(
             f"unknown execution mode {execution!r}; expected one of "
             f"{EXECUTION_MODES}")
-    if nthreads <= 0:
+    if num_threads <= 0:
         raise ExecutionError(
-            f"num_threads must be positive, got {nthreads}")
+            f"num_threads must be positive, got {num_threads}")
 
     gr, gc, gd = grid
     # a nest generated for an explicit {R:n}/{C:n}/{D:n} decomposition has
     # its grid baked in as literals — a caller passing the default
-    # grid=(1,1,1) with a mismatched nthreads would silently under- or
+    # grid=(1,1,1) with a mismatched num_threads would silently under- or
     # over-cover the iteration space (extra tids decode to empty ranges)
     declared = getattr(nest_func, "_parlooper_grid", None)
     if declared is not None and tuple(declared) != (1, 1, 1):
         dr, dc, dd = declared
         need = dr * dc * dd
         if (gr, gc, gd) == (1, 1, 1):
-            if nthreads != need:
+            if num_threads != need:
                 raise SpecError(
                     f"nest was generated for a {dr}x{dc}x{dd} thread grid "
                     f"({need} threads) but run_nest got "
-                    f"num_threads={nthreads} with the default "
+                    f"num_threads={num_threads} with the default "
                     "grid=(1, 1, 1)")
             gr, gc, gd = dr, dc, dd   # adopt the declared decomposition
         elif (gr, gc, gd) != (dr, dc, dd):
             raise SpecError(
                 f"nest was generated for a {dr}x{dc}x{dd} thread grid but "
                 f"run_nest got grid={grid}")
-    if gr * gc * gd != nthreads and (gr, gc, gd) != (1, 1, 1):
+    if gr * gc * gd != num_threads and (gr, gc, gd) != (1, 1, 1):
         raise ExecutionError(
             f"thread grid {(gr, gc, gd)} requires {gr * gc * gd} threads "
-            f"but {nthreads} were provided")
+            f"but {num_threads} were provided")
 
     if execution == "serial":
-        ctx = NestContext(nthreads, (gr, gc, gd), use_real_barrier=False)
-        for tid in range(nthreads):
-            nest_func(tid, nthreads, body_func, init_func, term_func, ctx)
+        ctx = NestContext(num_threads, (gr, gc, gd), use_real_barrier=False)
+        for tid in range(num_threads):
+            nest_func(tid, num_threads, body_func, init_func, term_func, ctx)
         return
 
-    ctx = NestContext(nthreads, (gr, gc, gd), use_real_barrier=True)
+    ctx = NestContext(num_threads, (gr, gc, gd), use_real_barrier=True)
     errors: list = []
     err_lock = threading.Lock()
 
     def worker(tid: int) -> None:
         try:
-            nest_func(tid, nthreads, body_func, init_func, term_func, ctx)
+            nest_func(tid, num_threads, body_func, init_func, term_func, ctx)
         except Exception as exc:  # noqa: BLE001 - propagated below
             with err_lock:
                 errors.append((tid, exc))
@@ -134,7 +134,7 @@ def _run_nest(nest_func, nthreads: int, body_func, init_func,
                 ctx._barrier.abort()
 
     threads = [threading.Thread(target=worker, args=(tid,), daemon=True)
-               for tid in range(nthreads)]
+               for tid in range(num_threads)]
     for t in threads:
         t.start()
     for t in threads:

@@ -1,0 +1,35 @@
+"""Simulated multi-replica serving: router, autoscaler, fleet traces.
+
+One :class:`FleetSimulator` drives N per-replica
+:class:`~repro.serve.server.ServeSimulator`\\ s — heterogeneous machine
+presets, private KV pools, private fault plans — in lockstep under a
+single discrete-event clock.  Arrivals stream from seeded open-loop
+:mod:`~repro.fleet.traffic` generators (10^5–10^6 requests without
+materialising them), a pluggable :class:`~repro.fleet.router.Router`
+places each one on a live replica, and an optional
+:class:`~repro.fleet.autoscale.AutoscalePolicy` grows and shrinks the
+active set with hysteresis.  Replica deaths evacuate and re-route all
+in-flight work; :func:`repro.resilience.check_fleet_invariants` proves
+no request is ever lost.  Everything is seeded: two runs of the same
+fleet are bit-identical, scale events and failovers included.
+"""
+
+from .autoscale import AutoscalePolicy, Autoscaler, FleetGauges
+from .cluster import (FleetReport, FleetSimulator, FleetSummary, Replica,
+                      ReplicaState)
+from .router import (LeastKvLoadedRouter, PrefixAffinityRouter, ROUTERS,
+                     RoundRobinRouter, Router, SloStickyRouter,
+                     make_router)
+from .traffic import (ArrivalTrace, DiurnalTrace, FlashCrowdTrace,
+                      PoissonBurstTrace, PoissonTrace, TRACE_FORMAT,
+                      load_trace, save_trace)
+
+__all__ = [
+    "FleetSimulator", "FleetReport", "FleetSummary", "Replica",
+    "ReplicaState",
+    "Router", "RoundRobinRouter", "LeastKvLoadedRouter",
+    "SloStickyRouter", "PrefixAffinityRouter", "ROUTERS", "make_router",
+    "AutoscalePolicy", "Autoscaler", "FleetGauges",
+    "ArrivalTrace", "PoissonTrace", "PoissonBurstTrace", "DiurnalTrace",
+    "FlashCrowdTrace", "save_trace", "load_trace", "TRACE_FORMAT",
+]

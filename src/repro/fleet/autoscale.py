@@ -1,0 +1,103 @@
+"""Hysteresis-gated autoscaling driven by the fleet's own gauges.
+
+The autoscaler is evaluated on a fixed simulated-time interval against
+the signals `repro.obs` already exports for serving — queue depth and
+goodput — aggregated fleet-wide.  Decisions are gated by *consecutive*
+breaches (hysteresis), so one bursty interval cannot flap capacity:
+
+* **scale up** after ``up_after`` consecutive intervals with mean
+  per-replica queue depth above ``queue_hi`` (capacity arrives only
+  after a deterministic ``warmup_s`` — model load + cache warm);
+* **scale down** after ``down_after`` consecutive intervals below
+  ``queue_lo`` (and, optionally, per-replica goodput below
+  ``down_goodput_tps``); the victim replica drains before parking.
+
+Everything is pure arithmetic over the gauge snapshot — no randomness,
+so a seeded fleet run scales bit-identically every time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AutoscalePolicy", "FleetGauges", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """When and how fast the fleet changes size."""
+
+    min_replicas: int = 1
+    #: None: every machine slot the fleet was built with
+    max_replicas: int | None = None
+    #: simulated seconds between autoscaler evaluations
+    interval_s: float = 2.0
+    #: mean waiting requests per active replica triggering scale-up
+    queue_hi: float = 16.0
+    #: ... and scale-down
+    queue_lo: float = 2.0
+    #: consecutive breached intervals before acting (hysteresis)
+    up_after: int = 2
+    down_after: int = 4
+    #: deterministic delay before a scaled-up replica serves traffic
+    warmup_s: float = 5.0
+    #: optional goodput guard: only scale down while per-replica
+    #: goodput is also below this (None: queue signal alone decides)
+    down_goodput_tps: float | None = None
+
+
+@dataclass(frozen=True)
+class FleetGauges:
+    """One autoscaler evaluation's input: the fleet-wide snapshot at
+    an interval boundary (mirrored to obs as ``fleet_*`` gauges)."""
+
+    now_s: float
+    active_replicas: int
+    #: waiting requests summed over active replicas
+    queue_depth: int
+    #: goodput tokens/s over the last interval, fleet-wide
+    goodput_tps: float
+
+
+class Autoscaler:
+    """Evaluates one :class:`AutoscalePolicy` with hysteresis state.
+
+    :meth:`decide` returns +1 (scale up), -1 (scale down), or 0 — the
+    fleet applies the decision (picking which slot to warm or drain)."""
+
+    def __init__(self, policy: AutoscalePolicy | None = None):
+        self.policy = policy if policy is not None else AutoscalePolicy()
+        self._hot = 0
+        self._cool = 0
+
+    def reset(self) -> None:
+        self._hot = 0
+        self._cool = 0
+
+    def decide(self, gauges: FleetGauges, n_slots: int) -> int:
+        p = self.policy
+        active = max(1, gauges.active_replicas)
+        per_replica = gauges.queue_depth / active
+        calm = per_replica < p.queue_lo and (
+            p.down_goodput_tps is None
+            or gauges.goodput_tps / active < p.down_goodput_tps)
+        if per_replica > p.queue_hi:
+            self._hot += 1
+            self._cool = 0
+        elif calm:
+            self._cool += 1
+            self._hot = 0
+        else:
+            self._hot = 0         # the hysteresis dead band
+            self._cool = 0
+        max_replicas = p.max_replicas if p.max_replicas is not None \
+            else n_slots
+        if self._hot >= p.up_after \
+                and gauges.active_replicas < max_replicas:
+            self._hot = 0
+            return 1
+        if self._cool >= p.down_after \
+                and gauges.active_replicas > p.min_replicas:
+            self._cool = 0
+            return -1
+        return 0

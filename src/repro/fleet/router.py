@@ -1,0 +1,143 @@
+"""Pluggable request routing: which replica gets the next arrival.
+
+A router is any object with a ``name``, a ``reset()`` called at the
+start of every fleet run, and ``route(req, candidates, now) ->
+replica`` choosing among the currently routable replicas (always
+non-empty, sorted by replica id).  Routing happens at the shared fleet
+clock's arrival time and may observe live replica state — queue depth
+and KV-pool load — but must be deterministic: same request, same
+candidate states, same choice.
+
+Policies:
+
+* ``round_robin`` — rotate over routable replicas, state-blind;
+* ``least_kv_loaded`` — lowest KV-pool block fraction first (queue
+  depth, then id, break ties).  Naturally capacity-aware: a replica
+  with twice the DRAM absorbs twice the resident KV before it looks
+  as loaded as a small one;
+* ``slo_sticky`` — pin each SLO class (``Request.priority``) to the
+  replica that first served it, so one class's burst cannot evict
+  another class's KV working set;
+* ``prefix_affinity`` — hash ``Request.prompt_hash`` onto the
+  candidate list, so same-prefix requests land where their prefix KV
+  already lives.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Router", "RoundRobinRouter", "LeastKvLoadedRouter",
+           "SloStickyRouter", "PrefixAffinityRouter", "ROUTERS",
+           "make_router"]
+
+
+@runtime_checkable
+class Router(Protocol):
+    """The routing protocol every policy implements."""
+
+    name: str
+
+    def reset(self) -> None:
+        """Forget per-run state (called once per fleet run)."""
+
+    def route(self, req, candidates, now: float):
+        """Pick one of *candidates* (non-empty, id-sorted) for *req*."""
+
+
+def _least_loaded(candidates):
+    return min(candidates,
+               key=lambda r: (r.kv_load, r.in_flight, r.id))
+
+
+class RoundRobinRouter:
+    """Rotate over routable replicas; ignores all load signals."""
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._i = 0
+
+    def reset(self) -> None:
+        self._i = 0
+
+    def route(self, req, candidates, now: float):
+        chosen = candidates[self._i % len(candidates)]
+        self._i += 1
+        return chosen
+
+
+class LeastKvLoadedRouter:
+    """Send to the replica with the most free KV, relative to its own
+    pool size — heterogeneous replicas compare fairly."""
+
+    name = "least_kv_loaded"
+
+    def reset(self) -> None:
+        pass
+
+    def route(self, req, candidates, now: float):
+        return _least_loaded(candidates)
+
+
+class SloStickyRouter:
+    """Pin each SLO class to one replica (least-loaded at first sight);
+    falls back to least-loaded when the pinned replica is unroutable
+    (dead or drained) and re-pins to the fallback."""
+
+    name = "slo_sticky"
+
+    def __init__(self):
+        self._pin: dict = {}      # priority class -> replica id
+
+    def reset(self) -> None:
+        self._pin.clear()
+
+    def route(self, req, candidates, now: float):
+        rid = self._pin.get(req.priority)
+        if rid is not None:
+            for r in candidates:
+                if r.id == rid:
+                    return r
+        chosen = _least_loaded(candidates)
+        self._pin[req.priority] = chosen.id
+        return chosen
+
+
+class PrefixAffinityRouter:
+    """Hash the request's prompt-prefix group onto the candidate list;
+    requests with no ``prompt_hash`` hash their rid instead.  When the
+    candidate set changes (death, scale event) the mapping reshuffles —
+    affinity is best-effort, correctness never depends on it."""
+
+    name = "prefix_affinity"
+
+    def reset(self) -> None:
+        pass
+
+    def route(self, req, candidates, now: float):
+        key = req.prompt_hash if req.prompt_hash is not None else req.rid
+        return candidates[key % len(candidates)]
+
+
+ROUTERS = {
+    "round_robin": RoundRobinRouter,
+    "least_kv_loaded": LeastKvLoadedRouter,
+    "slo_sticky": SloStickyRouter,
+    "prefix_affinity": PrefixAffinityRouter,
+}
+
+
+def make_router(policy) -> Router:
+    """Resolve a policy name (or pass a Router instance through)."""
+    if isinstance(policy, str):
+        try:
+            return ROUTERS[policy]()
+        except KeyError:
+            raise ValueError(
+                f"unknown router policy {policy!r}; available: "
+                f"{sorted(ROUTERS)}") from None
+    if not isinstance(policy, Router):
+        raise TypeError(
+            f"router must be a policy name or a Router, got {policy!r}")
+    return policy

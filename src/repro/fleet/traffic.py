@@ -1,0 +1,290 @@
+"""Open-loop arrival traces at fleet scale: 10^5–10^6 seeded requests.
+
+:class:`~repro.serve.request.TrafficGenerator` materialises its whole
+trace as a list — fine for thousands of requests, hostile at a million.
+The generators here are *iterators*: attribute draws come from
+independent, chunked RNG streams keyed ``(seed, tag, chunk)``, so a
+trace streams in O(chunk) memory, two iterations of the same generator
+are identical, and a longer trace is a strict prefix-extension of a
+shorter one under the same seed.
+
+Time-varying rates (bursts, diurnal curves, flash crowds) use Lewis &
+Shedler thinning: candidate arrivals are drawn as a Poisson process at
+the peak rate and accepted with probability ``rate(t) / peak_rate``
+from a second seeded stream.  Acceptance depends only on the candidate
+index and the rate function, never on shared stream state, so the
+process is exactly reproducible.
+
+A JSONL replay format (:func:`save_trace` / :func:`load_trace`) freezes
+any trace to a file so external traffic can be replayed through the
+fleet, streaming both ways.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..serve.request import Request
+
+__all__ = ["ArrivalTrace", "PoissonTrace", "PoissonBurstTrace",
+           "DiurnalTrace", "FlashCrowdTrace", "save_trace", "load_trace",
+           "TRACE_FORMAT"]
+
+#: draws per RNG chunk: the memory high-water mark of a streamed trace
+CHUNK = 4096
+
+# stream tags (one independent stream per attribute)
+_TAG_GAP = 1
+_TAG_ACCEPT = 2
+_TAG_PROMPT = 3
+_TAG_OUT = 4
+_TAG_CLASS = 5
+_TAG_PREFIX = 6
+
+TRACE_FORMAT = "repro-fleet-trace/1"
+
+
+class _Stream:
+    """One chunked, counter-keyed draw stream: ``take(i)`` depends only
+    on ``(seed, tag, i // CHUNK)`` and the position within the chunk."""
+
+    def __init__(self, seed: int, tag: int, draw):
+        self.seed = seed
+        self.tag = tag
+        self.draw = draw          # draw(rng, n) -> ndarray of n values
+        self.chunk_index = -1
+        self.chunk = None
+
+    def take(self, i: int):
+        ci, off = divmod(i, CHUNK)
+        if ci != self.chunk_index:
+            rng = np.random.default_rng((self.seed, self.tag, ci))
+            self.chunk = self.draw(rng, CHUNK)
+            self.chunk_index = ci
+        return self.chunk[off]
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """Base class: a seeded open-loop arrival process with per-request
+    prompt/output/class/prefix attributes.  Subclasses define the
+    arrival-rate function; iteration streams :class:`Request`\\ s in
+    arrival order without materialising the trace."""
+
+    seed: int = 0
+    n_requests: int = 1000
+    #: first rid emitted (so multi-trace scenarios keep rids unique)
+    base_rid: int = 0
+    # prompt length: lognormal, heavy tail (sigma up = more skew)
+    min_prompt: int = 16
+    max_prompt: int = 2048
+    mean_prompt: int = 512
+    prompt_sigma: float = 0.8
+    # output length: geometric ("the model decides when to stop")
+    mean_new_tokens: int = 64
+    max_new_tokens: int = 512
+    #: SLO classes assigned uniformly to ``priority`` (1 = all class 0)
+    n_classes: int = 1
+    #: shared-prefix groups for prefix-affinity routing, Zipf-skewed
+    #: (0 disables ``prompt_hash`` stamping)
+    n_prefix_groups: int = 0
+    prefix_zipf_a: float = 1.5
+
+    # -- the rate function (subclass responsibility) --------------------
+    def rate(self, t: float) -> float:
+        """Requests/second at absolute time *t*."""
+        raise NotImplementedError
+
+    @property
+    def peak_rate(self) -> float:
+        """A finite upper bound of :meth:`rate` (thinning envelope)."""
+        raise NotImplementedError
+
+    # -- streaming ------------------------------------------------------
+    def __iter__(self):
+        peak = float(self.peak_rate)
+        if not (peak > 0.0) or not math.isfinite(peak):
+            raise ValueError(
+                f"{type(self).__name__}: peak_rate must be finite and "
+                f"positive, got {peak!r}")
+        if self.n_requests <= 0:
+            raise ValueError("n_requests must be positive")
+        gaps = _Stream(self.seed, _TAG_GAP,
+                       lambda rng, n: rng.exponential(1.0 / peak, n))
+        accepts = _Stream(self.seed, _TAG_ACCEPT,
+                          lambda rng, n: rng.random(n))
+        prompts = _Stream(
+            self.seed, _TAG_PROMPT,
+            lambda rng, n: np.clip(
+                rng.lognormal(np.log(self.mean_prompt / 2.0),
+                              self.prompt_sigma, n),
+                self.min_prompt, self.max_prompt).astype(int))
+        outs = _Stream(
+            self.seed, _TAG_OUT,
+            lambda rng, n: np.clip(
+                rng.geometric(1.0 / self.mean_new_tokens, n),
+                1, self.max_new_tokens).astype(int))
+        classes = _Stream(self.seed, _TAG_CLASS,
+                          lambda rng, n: rng.integers(0, self.n_classes,
+                                                      size=n)) \
+            if self.n_classes > 1 else None
+        prefixes = _Stream(
+            self.seed, _TAG_PREFIX,
+            lambda rng, n: (rng.zipf(self.prefix_zipf_a, n) - 1)
+            % self.n_prefix_groups) \
+            if self.n_prefix_groups > 0 else None
+
+        t = 0.0
+        made = 0
+        draw = 0                  # candidate index (thinning)
+        while made < self.n_requests:
+            t += float(gaps.take(draw))
+            u = float(accepts.take(draw))
+            draw += 1
+            r = self.rate(t)
+            if r < 0 or r > peak * (1 + 1e-9):
+                raise ValueError(
+                    f"{type(self).__name__}: rate({t:.3f}) = {r!r} "
+                    f"outside [0, peak_rate={peak!r}]")
+            if u * peak > r:
+                continue          # thinned candidate
+            i = made
+            made += 1
+            yield Request(
+                rid=self.base_rid + i,
+                arrival_s=t,
+                prompt_tokens=int(prompts.take(i)),
+                max_new_tokens=int(outs.take(i)),
+                priority=int(classes.take(i)) if classes is not None
+                else 0,
+                prompt_hash=int(prefixes.take(i)) if prefixes is not None
+                else None)
+
+    def generate(self, n_requests: int | None = None) -> list:
+        """Materialise the first *n_requests* (small-scale convenience;
+        prefer iteration at fleet scale)."""
+        n = self.n_requests if n_requests is None else n_requests
+        out = []
+        for req in self:
+            out.append(req)
+            if len(out) >= n:
+                break
+        return out
+
+
+@dataclass(frozen=True)
+class PoissonTrace(ArrivalTrace):
+    """Constant-rate Poisson arrivals (the open-loop baseline)."""
+
+    rate_rps: float = 50.0
+
+    def rate(self, t: float) -> float:
+        return self.rate_rps
+
+    @property
+    def peak_rate(self) -> float:
+        return self.rate_rps
+
+
+@dataclass(frozen=True)
+class PoissonBurstTrace(ArrivalTrace):
+    """A base Poisson rate with periodic rectangular bursts."""
+
+    base_rps: float = 20.0
+    burst_rps: float = 200.0
+    period_s: float = 60.0
+    burst_len_s: float = 5.0
+
+    def rate(self, t: float) -> float:
+        return self.burst_rps if (t % self.period_s) < self.burst_len_s \
+            else self.base_rps
+
+    @property
+    def peak_rate(self) -> float:
+        return max(self.base_rps, self.burst_rps)
+
+
+@dataclass(frozen=True)
+class DiurnalTrace(ArrivalTrace):
+    """A sinusoidal day/night curve around a mean rate."""
+
+    mean_rps: float = 50.0
+    period_s: float = 600.0
+    #: fraction of the mean the curve swings (0 = flat, <1 keeps rate>0)
+    amplitude: float = 0.8
+
+    def rate(self, t: float) -> float:
+        return self.mean_rps * (1.0 + self.amplitude
+                                * math.sin(2.0 * math.pi * t
+                                           / self.period_s))
+
+    @property
+    def peak_rate(self) -> float:
+        return self.mean_rps * (1.0 + self.amplitude)
+
+
+@dataclass(frozen=True)
+class FlashCrowdTrace(ArrivalTrace):
+    """Steady traffic with one flash crowd: the rate multiplies by
+    ``flash_mult`` during ``[flash_at_s, flash_at_s + flash_len_s)`` —
+    the skewed trace that separates KV-aware routing from round-robin."""
+
+    base_rps: float = 30.0
+    flash_at_s: float = 30.0
+    flash_len_s: float = 20.0
+    flash_mult: float = 8.0
+
+    def rate(self, t: float) -> float:
+        in_flash = self.flash_at_s <= t < self.flash_at_s \
+            + self.flash_len_s
+        return self.base_rps * (self.flash_mult if in_flash else 1.0)
+
+    @property
+    def peak_rate(self) -> float:
+        return self.base_rps * max(1.0, self.flash_mult)
+
+
+# -- trace-file replay ----------------------------------------------------
+
+def save_trace(path: str, requests) -> int:
+    """Freeze *requests* (any iterable, streamed) to a JSONL replay
+    file; returns the number written.  Only arrival-time attributes are
+    saved — runtime bookkeeping does not belong in a trace."""
+    n = 0
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"format": TRACE_FORMAT}) + "\n")
+        for req in requests:
+            rec = {"rid": req.rid, "arrival_s": req.arrival_s,
+                   "prompt_tokens": req.prompt_tokens,
+                   "max_new_tokens": req.max_new_tokens}
+            if req.priority:
+                rec["priority"] = req.priority
+            if req.prompt_hash is not None:
+                rec["prompt_hash"] = req.prompt_hash
+            fh.write(json.dumps(rec) + "\n")
+            n += 1
+    return n
+
+
+def load_trace(path: str):
+    """Stream :class:`Request`\\ s back from a :func:`save_trace` file."""
+    with open(path) as fh:
+        header = json.loads(fh.readline())
+        if header.get("format") != TRACE_FORMAT:
+            raise ValueError(
+                f"{path}: not a fleet trace file (header {header!r}, "
+                f"expected format {TRACE_FORMAT!r})")
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            yield Request(rid=rec["rid"], arrival_s=rec["arrival_s"],
+                          prompt_tokens=rec["prompt_tokens"],
+                          max_new_tokens=rec["max_new_tokens"],
+                          priority=rec.get("priority", 0),
+                          prompt_hash=rec.get("prompt_hash"))

@@ -1,13 +1,14 @@
 """Machine models of the paper's evaluation platforms."""
 
 from .machine import CacheLevel, CoreCluster, MachineModel
-from .presets import (ADL, ALL_PLATFORMS, C5_12XLARGE, GVT3, RISCV64, SPR,
-                      SPR_1S, XEON8223, ZEN4, platform_by_name,
-                      restrict_cores)
+from .presets import (ADL, ALL_PLATFORMS, C5_12XLARGE, CLUSTER_PRESETS,
+                      GVT3, RISCV64, SPR, SPR_1S, XEON8223, ZEN4,
+                      cluster_preset, platform_by_name, restrict_cores)
 
 __all__ = [
     "CacheLevel", "CoreCluster", "MachineModel",
     "SPR", "SPR_1S", "GVT3", "ZEN4", "ADL", "XEON8223", "C5_12XLARGE",
     "RISCV64",
     "ALL_PLATFORMS", "platform_by_name", "restrict_cores",
+    "CLUSTER_PRESETS", "cluster_preset",
 ]

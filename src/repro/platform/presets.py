@@ -16,7 +16,7 @@ from .machine import CacheLevel, CoreCluster, MachineModel
 
 __all__ = ["SPR", "SPR_1S", "GVT3", "ZEN4", "ADL", "XEON8223",
            "C5_12XLARGE", "RISCV64", "ALL_PLATFORMS", "platform_by_name",
-           "restrict_cores"]
+           "restrict_cores", "CLUSTER_PRESETS", "cluster_preset"]
 
 KiB = 1024
 MiB = 1024 * 1024
@@ -201,3 +201,30 @@ def restrict_cores(machine: MachineModel, cores: int) -> MachineModel:
             remaining -= take
     return replace(machine, name=f"{machine.name}[{cores}c]",
                    clusters=tuple(clusters))
+
+
+# -- fleet cluster presets -------------------------------------------------
+# Named machine line-ups for repro.fleet: each is a tuple of replica
+# slots (repeats allowed — a slot is an instance, not a SKU).
+
+CLUSTER_PRESETS = {
+    # four identical big sockets — the homogeneous baseline
+    "homo4": (SPR, SPR, SPR, SPR),
+    # the heterogeneity workhorse: two ISAs, three DRAM sizes
+    "hetero4": (SPR, GVT3, ZEN4, SPR_1S),
+    # hetero4 plus a spare pair the autoscaler may warm
+    "hetero6": (SPR, GVT3, ZEN4, SPR_1S, GVT3, ZEN4),
+    # two big replicas fronting two small cloud instances
+    "edge4": (SPR, SPR, C5_12XLARGE, C5_12XLARGE),
+    "duo": (SPR, GVT3),
+}
+
+
+def cluster_preset(name: str) -> tuple:
+    """The machine tuple of a named fleet cluster."""
+    try:
+        return CLUSTER_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cluster preset {name!r}; available: "
+            f"{sorted(CLUSTER_PRESETS)}") from None

@@ -21,13 +21,18 @@ their deadline while the client was still there, per second — reported
 by :class:`~repro.serve.metrics.ServeSummary` next to raw throughput.
 """
 
-from .chaos import ChaosOutcome, chaos_sweep, chaos_trial, check_invariants
-from .faults import FaultPlan, FaultWindow, hash01
+from .chaos import (ChaosOutcome, chaos_sweep, chaos_trial,
+                    check_fleet_invariants, check_invariants,
+                    fleet_chaos_trial)
+from .faults import (FaultPlan, FaultWindow, FleetFaultPlan, ReplicaFault,
+                     hash01)
 from .policies import (DegradePolicy, ResilienceConfig, RetryPolicy,
                        stamp_deadlines)
 
 __all__ = [
     "FaultPlan", "FaultWindow", "hash01",
+    "ReplicaFault", "FleetFaultPlan",
     "RetryPolicy", "DegradePolicy", "ResilienceConfig", "stamp_deadlines",
     "ChaosOutcome", "check_invariants", "chaos_trial", "chaos_sweep",
+    "check_fleet_invariants", "fleet_chaos_trial",
 ]

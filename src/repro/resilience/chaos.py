@@ -26,7 +26,7 @@ from ..core.errors import ParlooperError, ServeError
 from ..obs.context import current as _obs
 
 __all__ = ["ChaosOutcome", "check_invariants", "chaos_trial",
-           "chaos_sweep"]
+           "chaos_sweep", "check_fleet_invariants", "fleet_chaos_trial"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +86,81 @@ def chaos_trial(sim, requests, seed: int = 0) -> ChaosOutcome:
                 violations=(f"unhandled {type(exc).__name__}: {exc}",))
         else:
             violations = check_invariants(sim, report)
+            outcome = ChaosOutcome(seed=seed, ok=not violations,
+                                   violations=tuple(violations),
+                                   summary=report.summary)
+    if obs.enabled:
+        obs.inc("chaos_trials", verdict="ok" if outcome.ok else
+                ("error" if outcome.summary is None else "violation"))
+    return outcome
+
+
+def check_fleet_invariants(fleet, report) -> list:
+    """Invariant violations of a completed fleet run.
+
+    On top of the single-node invariants (token causality, per-replica
+    pool leak freedom) a fleet must conserve requests *across
+    failover*: every injected request reaches exactly one terminal
+    state somewhere, and every replica accounts for all work it was
+    routed (``n_terminal + n_failed_over == n_submitted``)."""
+    errs = []
+    s = report.summary
+    if s.n_terminal != s.n_injected:
+        errs.append(
+            f"fleet request conservation violated: {s.n_terminal} "
+            f"terminal != {s.n_injected} injected (failovers "
+            f"{s.n_failovers}, unroutable {s.n_unroutable})")
+    for rep in report.replica_reports:
+        rs = rep.summary
+        if rs.n_terminal + rs.n_failed_over != rs.n_submitted:
+            errs.append(
+                f"replica {rep.replica_id}: {rs.n_terminal} terminal + "
+                f"{rs.n_failed_over} failed-over != {rs.n_submitted} "
+                f"submitted")
+    for r in fleet.replicas:
+        if r.sim is None:
+            continue
+        stats = r.sim.pool.stats()
+        if stats.used_blocks != 0 or r.sim.pool.holders():
+            errs.append(
+                f"replica {r.id}: kv pool leak, {stats.used_blocks} "
+                f"blocks held by rids {r.sim.pool.holders()[:8]}")
+    seen = set()
+    for req in report.requests:
+        if req.rid in seen:
+            errs.append(f"request {req.rid} injected twice")
+        seen.add(req.rid)
+        if not req.terminal:
+            errs.append(f"request {req.rid} ended non-terminal "
+                        f"({req.state.value}) on replica {req.replica}")
+        if req.token_times != sorted(req.token_times):
+            errs.append(f"request {req.rid}: token timestamps not "
+                        f"monotone across failover")
+        if req.finish_s is not None and req.token_times \
+                and req.finish_s < req.token_times[-1]:
+            errs.append(f"request {req.rid}: finish_s precedes its last "
+                        f"token timestamp")
+    return errs
+
+
+def fleet_chaos_trial(fleet, trace, seed: int = 0) -> ChaosOutcome:
+    """Run *fleet* over *trace* and judge it — the fleet-level analogue
+    of :func:`chaos_trial` (typed errors become violations)."""
+    obs = _obs()
+    with obs.span("fleet_chaos_trial", seed=seed):
+        try:
+            report = fleet.run(trace)
+        except ServeError as exc:
+            outcome = ChaosOutcome(
+                seed=seed, ok=False,
+                violations=(f"unhandled {type(exc).__name__}: {exc}",),
+                snapshot=exc.snapshot)
+        except ParlooperError as exc:
+            outcome = ChaosOutcome(
+                seed=seed, ok=False,
+                violations=(f"unhandled {type(exc).__name__}: {exc}",))
+        else:
+            violations = check_fleet_invariants(fleet, report)
             outcome = ChaosOutcome(seed=seed, ok=not violations,
                                    violations=tuple(violations),
                                    summary=report.summary)

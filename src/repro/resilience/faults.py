@@ -33,13 +33,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["hash01", "FaultWindow", "FaultPlan"]
+__all__ = ["hash01", "FaultWindow", "FaultPlan", "ReplicaFault",
+           "FleetFaultPlan"]
 
 # stream tags keeping the per-purpose hash streams independent
 _TAG_FAIL = 11
 _TAG_CANCEL_DRAW = 13
 _TAG_CANCEL_FRAC = 17
 _TAG_SAMPLE = 23
+_TAG_DEATH = 31
+_TAG_PLAN_SEED = 37
 
 
 def hash01(*key: int) -> float:
@@ -166,3 +169,77 @@ class FaultPlan:
             p_cancel=p_cancel,
             cancel_patience_s=(cancel_patience_s if cancel_patience_s
                                is not None else 0.25 * horizon_s))
+
+
+@dataclass(frozen=True)
+class ReplicaFault:
+    """One whole-replica failure: the replica dies at ``at_s`` (its
+    in-flight work is evacuated and failed over by the fleet router)
+    and, if ``revive_s`` is set, comes back empty at that time."""
+
+    replica: int
+    at_s: float
+    revive_s: float | None = None
+
+
+@dataclass(frozen=True)
+class FleetFaultPlan:
+    """The fault environment of a whole fleet, fully seeded.
+
+    Composes per-replica :class:`FaultPlan`\\ s (stragglers, capacity
+    dips, step failures, client cancels — index-aligned with the fleet's
+    replica slots; missing entries mean a clean replica) with
+    fleet-level :class:`ReplicaFault` death/revival events that only a
+    multi-replica simulation can express."""
+
+    seed: int = 0
+    deaths: tuple = ()
+    #: per-replica FaultPlans, index-aligned; shorter tuples leave the
+    #: remaining replicas fault-free
+    plans: tuple = ()
+
+    def plan_for(self, replica: int):
+        """The per-replica :class:`FaultPlan` (None: clean replica)."""
+        return self.plans[replica] if replica < len(self.plans) else None
+
+    def death_events(self) -> list:
+        """All deaths and revivals as ``(t, kind, replica)`` tuples,
+        time-sorted with deaths before revivals at equal times."""
+        events = []
+        for d in self.deaths:
+            events.append((d.at_s, 0, d.replica))        # 0 = death
+            if d.revive_s is not None:
+                events.append((d.revive_s, 1, d.replica))  # 1 = revival
+        return sorted(events)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def sample(cls, seed: int, horizon_s: float, n_replicas: int,
+               n_deaths: int = 1, revive: bool = True,
+               per_replica_faults: bool = False,
+               **fault_kwargs) -> "FleetFaultPlan":
+        """One seeded fleet scenario over ``[0, horizon_s]``.
+
+        Deaths strike seeded replicas in the middle 60% of the horizon
+        (so there is work to evacuate); revivals, when enabled, bring
+        them back after a seeded 10–25% of the horizon.  With
+        ``per_replica_faults`` every replica also gets its own
+        :meth:`FaultPlan.sample` (kwargs forwarded), seeded per slot."""
+        rng = np.random.default_rng((seed, _TAG_DEATH))
+        deaths = []
+        for _ in range(n_deaths):
+            replica = int(rng.integers(n_replicas))
+            at = float(rng.uniform(0.1, 0.7)) * horizon_s
+            revive_s = at + float(rng.uniform(0.1, 0.25)) * horizon_s \
+                if revive else None
+            deaths.append(ReplicaFault(replica, at, revive_s))
+        plans = ()
+        if per_replica_faults:
+            plans = tuple(
+                FaultPlan.sample(
+                    int(np.random.default_rng(
+                        (seed, _TAG_PLAN_SEED, i)).integers(2**31)),
+                    horizon_s, **fault_kwargs)
+                for i in range(n_replicas))
+        return cls(seed=seed, deaths=tuple(sorted(
+            deaths, key=lambda d: (d.at_s, d.replica))), plans=plans)

@@ -88,6 +88,11 @@ class PagedKvPool:
 
     # -- capacity -------------------------------------------------------
     @property
+    def used_blocks(self) -> int:
+        """Blocks currently allocated (the load a KV-aware router sees)."""
+        return sum(self._blocks.values())
+
+    @property
     def free_blocks(self) -> int:
         """May go negative while fault-injected capacity loss overlaps
         existing allocations: nothing new fits until releases catch up."""

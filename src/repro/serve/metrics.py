@@ -64,11 +64,17 @@ class ServeSummary:
     #: client was still there — the numerator of goodput
     goodput_tokens: int = 0
     goodput_tokens_per_s: float = 0.0
+    # -- fleet accounting (repro.fleet) --------------------------------
+    #: requests evacuated to another replica when this one died; they
+    #: reach a terminal state elsewhere, so conservation per replica is
+    #: ``n_terminal + n_failed_over == n_submitted``
+    n_failed_over: int = 0
 
     @property
     def n_terminal(self) -> int:
         """Requests in a terminal state — the request-conservation
-        invariant demands this equals ``n_submitted``."""
+        invariant demands this equals ``n_submitted`` (minus work that
+        failed over to another replica)."""
         return (self.n_finished + self.n_rejected + self.n_timed_out
                 + self.n_cancelled + self.n_shed)
 
@@ -106,6 +112,7 @@ class ServeMetrics:
     n_retries: int = 0
     n_degraded: int = 0
     n_step_failures: int = 0
+    n_failed_over: int = 0
     goodput_tokens: int = 0
     #: (time_s, queue_depth, batch_size, kv_occupancy, kv_fragmentation)
     samples: list = field(default_factory=list)
@@ -114,21 +121,31 @@ class ServeMetrics:
     #: simulated clock (kept current by the server loop) so mirrored
     #: trace events carry simulation time, not wall time
     now_s: float = field(default=0.0, repr=False, compare=False)
+    #: fleet replica label stamped on every mirrored counter/gauge
+    #: (None: single-node run, labels unchanged)
+    replica: str | None = field(default=None, repr=False, compare=False)
+    #: prefix for per-request trace tracks ("r3 " inside a fleet)
+    track_prefix: str = field(default="", repr=False, compare=False)
+
+    def _labels(self, **labels) -> dict:
+        if self.replica is not None:
+            labels["replica"] = self.replica
+        return labels
 
     def _event(self, event: str) -> None:
         if self.obs is not None and self.obs.enabled:
-            self.obs.inc("serve_requests", event=event)
+            self.obs.inc("serve_requests", **self._labels(event=event))
 
     def _recovery(self, action: str) -> None:
         if self.obs is not None and self.obs.enabled:
-            self.obs.inc("recovery_actions", action=action)
+            self.obs.inc("recovery_actions", **self._labels(action=action))
 
     def on_finish(self, req: Request) -> None:
         self.n_finished += 1
         self.generated_tokens += req.generated
         self._event("finished")
         if self.obs is not None and self.obs.enabled:
-            self.obs.inc("serve_tokens", req.generated)
+            self.obs.inc("serve_tokens", req.generated, **self._labels())
         # goodput: only work the SLO and the client both still want
         slo_ok = req.deadline_s is None or req.finish_s <= req.deadline_s
         client_ok = req.cancel_s is None or req.finish_s <= req.cancel_s
@@ -149,10 +166,10 @@ class ServeMetrics:
     def on_preempt(self, req: Request) -> None:
         self.n_preemptions += 1
         if self.obs is not None and self.obs.enabled:
-            self.obs.inc("serve_preemptions")
-            self.obs.tracer.instant("preempt", track=f"req {req.rid}",
-                                    ts=self.now_s,
-                                    preemptions=req.preemptions)
+            self.obs.inc("serve_preemptions", **self._labels())
+            self.obs.tracer.instant(
+                "preempt", track=f"{self.track_prefix}req {req.rid}",
+                ts=self.now_s, preemptions=req.preemptions)
 
     def on_timeout(self, req: Request) -> None:
         self.n_timed_out += 1
@@ -180,17 +197,26 @@ class ServeMetrics:
     def on_step_failure(self) -> None:
         self.n_step_failures += 1
         if self.obs is not None and self.obs.enabled:
-            self.obs.inc("fault_injections", kind="step_failure")
+            self.obs.inc("fault_injections",
+                         **self._labels(kind="step_failure"))
+
+    def on_failover(self, req: Request) -> None:
+        """Request evacuated off a dying replica (terminal elsewhere)."""
+        self.n_failed_over += 1
+        self._event("failed_over")
+        self._recovery("failover")
 
     def sample(self, now_s: float, queue_depth: int, batch_size: int,
                kv_occupancy: float, kv_fragmentation: float) -> None:
         self.samples.append((now_s, queue_depth, batch_size,
                              kv_occupancy, kv_fragmentation))
         if self.obs is not None and self.obs.enabled:
-            self.obs.set_gauge("serve_queue_depth", queue_depth)
-            self.obs.set_gauge("serve_batch_size", batch_size)
-            self.obs.set_gauge("kv_occupancy", kv_occupancy)
-            self.obs.set_gauge("kv_fragmentation", kv_fragmentation)
+            labels = self._labels()
+            self.obs.set_gauge("serve_queue_depth", queue_depth, **labels)
+            self.obs.set_gauge("serve_batch_size", batch_size, **labels)
+            self.obs.set_gauge("kv_occupancy", kv_occupancy, **labels)
+            self.obs.set_gauge("kv_fragmentation", kv_fragmentation,
+                               **labels)
 
     def summary(self, makespan_s: float) -> ServeSummary:
         mean = lambda xs: sum(xs) / len(xs) if xs else 0.0
@@ -220,6 +246,7 @@ class ServeMetrics:
             n_retries=self.n_retries,
             n_degraded=self.n_degraded,
             n_step_failures=self.n_step_failures,
+            n_failed_over=self.n_failed_over,
             goodput_tokens=self.goodput_tokens,
             goodput_tokens_per_s=(self.goodput_tokens / makespan_s
                                   if makespan_s > 0 else 0.0),

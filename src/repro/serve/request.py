@@ -44,6 +44,10 @@ class Request:
     max_new_tokens: int
     #: smaller is more important; ties broken by arrival order
     priority: int = 0
+    #: stable hash of the prompt prefix (None: no shared prefix) — what
+    #: prefix-affinity routing keys on so same-prefix requests land on
+    #: the replica whose KV cache already holds their prefix
+    prompt_hash: int | None = None
 
     state: RequestState = RequestState.QUEUED
     #: KV positions currently materialised in the pool (chunked prefill
@@ -67,6 +71,10 @@ class Request:
     attempts: int = 0
     #: True once degraded mode clamped this request's output budget
     degraded: bool = False
+    #: fleet replica currently serving this request (stamped at routing)
+    replica: int | None = None
+    #: times this request was evacuated off a dying replica
+    failovers: int = 0
 
     @property
     def context_tokens(self) -> int:

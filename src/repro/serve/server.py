@@ -20,6 +20,16 @@ degradation (clamped outputs, reduced step budgets, queue shedding,
 proactive KV headroom) under sustained overload.  Both sides are pure
 functions of their seeds, so every failure and every recovery replays
 bit-identically.
+
+The loop is exposed two ways.  :meth:`ServeSimulator.run` is the classic
+batch entry point: feed it a whole trace, get a report.  Underneath it
+is an *incremental* engine — :meth:`begin` / :meth:`push` /
+:meth:`advance` / :meth:`finish` — that lets an external driver own the
+clock: `repro.fleet` advances N replicas in lockstep by repeatedly
+asking each for its :meth:`next_time` and advancing the earliest one.
+:meth:`evacuate` supports replica death: it hands every non-terminal
+request back (KV gone, ready to re-prefill elsewhere) so a router can
+fail them over without losing any.
 """
 
 from __future__ import annotations
@@ -54,6 +64,41 @@ class ServeReport:
     stack_name: str
     batcher_name: str
     n_steps: int
+    #: fleet replica that produced this report (None: single-node run)
+    replica_id: int | None = None
+
+
+class _RunState:
+    """Mutable state of one serving run, alive between :meth:`begin`
+    and :meth:`finish`.  One iteration of the classic loop == one
+    :meth:`ServeSimulator.advance` call over this state."""
+
+    __slots__ = ("reqs", "i", "waiting", "running", "retry_heap", "now",
+                 "steps", "max_steps", "degraded", "hot", "cool",
+                 "metrics", "obs", "timing", "admit_ts", "sched_ts")
+
+    def __init__(self, metrics, obs, timing, max_steps):
+        self.reqs: list = []        # arrival-sorted; [:i] already admitted
+        self.i = 0
+        self.waiting: list = []
+        self.running: list = []
+        self.retry_heap: list = []  # (due_s, rid, request)
+        self.now = 0.0
+        self.steps = 0
+        self.max_steps = max_steps
+        self.degraded = False
+        self.hot = 0
+        self.cool = 0
+        self.metrics = metrics
+        self.obs = obs
+        self.timing = timing
+        self.admit_ts: dict = {}    # rid -> admission time (tracing)
+        self.sched_ts: dict = {}    # rid -> first prefill schedule time
+
+    @property
+    def drained(self) -> bool:
+        return (self.i >= len(self.reqs) and not self.waiting
+                and not self.running and not self.retry_heap)
 
 
 class ServeSimulator:
@@ -68,7 +113,11 @@ class ServeSimulator:
     context is ambient when :meth:`run` is called.  With observability
     on, every run mirrors its funnel into counters, its pool pressure
     into gauges, and each request's admit→prefill→decode→finish
-    timeline into simulated-time trace spans on a ``req <rid>`` track."""
+    timeline into simulated-time trace spans on a ``req <rid>`` track.
+
+    ``replica_id`` names this simulator inside a fleet: request/step
+    tracks and mirrored metrics gain the replica label, and routed
+    requests are stamped with it."""
 
     def __init__(self, config: LlmConfig, machine: MachineModel,
                  stack_name: str = "parlooper",
@@ -76,7 +125,8 @@ class ServeSimulator:
                  batcher=None, scheduler: Scheduler | None = None,
                  block_tokens: int = 16, mem_fraction: float = 0.9,
                  cost: ServeCostModel | None = None,
-                 resilience=None, faults=None, obs=None):
+                 resilience=None, faults=None, obs=None,
+                 replica_id: int | None = None):
         if not isinstance(block_tokens, int) or block_tokens <= 0:
             raise ServeConfigError(
                 f"block_tokens must be a positive integer, got "
@@ -100,219 +150,379 @@ class ServeSimulator:
         self.resilience = resilience
         self.faults = faults
         self.obs = obs
+        self.replica_id = replica_id
+        self._st: _RunState | None = None
 
-    # -- the event loop -------------------------------------------------
+    # -- track naming (replica-aware) -----------------------------------
+    @property
+    def step_track(self) -> str:
+        return "serve" if self.replica_id is None \
+            else f"replica {self.replica_id}"
+
+    def _req_track(self, rid) -> str:
+        return f"req {rid}" if self.replica_id is None \
+            else f"r{self.replica_id} req {rid}"
+
+    # -- the classic batch entry point ----------------------------------
     def run(self, requests, max_steps: int = 1_000_000) -> ServeReport:
+        reqs = self._validate(requests)
+        self.begin(reqs, max_steps=max_steps, validate=False)
+        try:
+            while self.advance():
+                pass
+        except BaseException:
+            self._st = None        # a fresh run() stays possible
+            raise
+        return self.finish()
+
+    # -- the incremental engine -----------------------------------------
+    def begin(self, requests=(), max_steps: int = 1_000_000,
+              validate: bool = True) -> "ServeSimulator":
+        """Open an incremental run.  *requests* may be empty: a fleet
+        driver :meth:`push`\\ es routed arrivals as it goes and owns the
+        decision of when to :meth:`advance`."""
         if max_steps <= 0:
             raise ServeConfigError(
                 f"max_steps must be positive, got {max_steps!r}")
-        reqs = self._validate(requests)
-        res, fplan = self.resilience, self.faults
-        if res is not None and res.deadline_s is not None:
-            for r in reqs:
-                if r.deadline_s is None:
-                    r.deadline_s = r.arrival_s + res.deadline_s
-        if fplan is not None:
-            fplan.stamp(reqs)
-            n_stamped = sum(1 for r in reqs if r.cancel_s is not None)
+        if self._st is not None:
+            raise ServeConfigError(
+                "a run is already in progress: finish() it first")
         obs = self.obs if self.obs is not None else _obs()
-        timing = obs.tracer.enabled
-        metrics = ServeMetrics(obs=obs if obs.enabled else None)
-        metrics.n_submitted = len(reqs)
-        if obs.metrics.enabled and fplan is not None and n_stamped:
-            obs.inc("fault_injections", n_stamped, kind="client_cancel")
-        admit_ts: dict = {}            # rid -> admission time (tracing)
-        sched_ts: dict = {}            # rid -> first prefill schedule time
-        waiting: list = []
-        running: list = []
-        retry_heap: list = []          # (due_s, rid, request)
-        now = 0.0
-        i = 0
-        steps = 0
-        degraded = False
-        hot = cool = 0
-        while i < len(reqs) or waiting or running or retry_heap:
-            metrics.now_s = now
-            if fplan is not None:
-                lost = fplan.lost_fraction(now)
-                self.pool.set_lost_fraction(lost)
-                if lost > 0.0 and obs.metrics.enabled:
-                    obs.set_gauge("kv_lost_fraction", lost)
-            # re-admit backed-off retries that have come due ...
-            while retry_heap and retry_heap[0][0] <= now:
-                _, _, req = heapq.heappop(retry_heap)
-                self._admit(req, waiting, retry_heap, metrics, now,
-                            degraded)
-                if timing and req in waiting:
-                    admit_ts.setdefault(req.rid, now)
-            # ... and admit everything that has arrived by the clock
-            while i < len(reqs) and reqs[i].arrival_s <= now:
-                req = reqs[i]
-                i += 1
-                self._admit(req, waiting, retry_heap, metrics, now,
-                            degraded)
-                if timing and req in waiting:
-                    admit_ts.setdefault(req.rid, now)
-            # hardened: cancel abandoned work, time out missed deadlines
-            if res is not None:
-                self._reap(waiting, running, metrics, now)
-            if not waiting and not running:
-                nxt = self._next_event(reqs, i, retry_heap, now, fplan)
-                if nxt is None:
-                    break              # everything already terminal
-                now = max(now, nxt)
-                continue
+        metrics = ServeMetrics(
+            obs=obs if obs.enabled else None,
+            replica=(None if self.replica_id is None
+                     else str(self.replica_id)),
+            track_prefix=("" if self.replica_id is None
+                          else f"r{self.replica_id} "))
+        self._st = _RunState(metrics, obs, obs.tracer.enabled, max_steps)
+        reqs = self._validate(requests) if validate and requests \
+            else requests
+        for req in reqs:
+            self._push(req)
+        return self
 
-            # overload detection and graceful degradation
-            if res is not None and res.degrade is not None:
-                d = res.degrade
-                stressed = len(waiting) > d.queue_hi \
-                    or self.pool.occupancy >= d.occupancy_hi
-                if not degraded:
-                    hot = hot + 1 if stressed else 0
-                    if hot >= d.enter_after_steps:
-                        degraded, hot, cool = True, 0, 0
-                else:
-                    cool = 0 if stressed else cool + 1
-                    if cool >= d.exit_after_steps:
-                        degraded, hot, cool = False, 0, 0
-                if degraded:
-                    self._degrade_actions(d, waiting, running, metrics)
+    def push(self, req) -> None:
+        """Feed one routed arrival into an in-progress run.  Arrivals
+        normally come in time order (O(1) append); failover re-routes
+        may arrive late and are insertion-sorted into the un-admitted
+        tail so admission order stays deterministic."""
+        if self._st is None:
+            raise ServeConfigError("push() called before begin()")
+        self._push(req)
 
-            waiting = self.scheduler.order_waiting(waiting)
-            budget = res.degrade.token_budget \
-                if degraded and res is not None and res.degrade is not None \
-                else None
-            plan = self.batcher.plan(running, waiting, token_budget=budget)
+    def _push(self, req) -> None:
+        st = self._st
+        res = self.resilience
+        if res is not None and res.deadline_s is not None \
+                and req.deadline_s is None:
+            req.deadline_s = req.arrival_s + res.deadline_s
+        if self.faults is not None:
+            if req.cancel_s is None:
+                req.cancel_s = self.faults.cancel_s(req)
+            if req.cancel_s is not None and st.obs.metrics.enabled:
+                st.obs.inc("fault_injections", kind="client_cancel")
+        if self.replica_id is not None:
+            req.replica = self.replica_id
+        reqs = st.reqs
+        key = (req.arrival_s, req.rid)
+        j = len(reqs)
+        while j > st.i and (reqs[j - 1].arrival_s, reqs[j - 1].rid) > key:
+            j -= 1
+        reqs.insert(j, req)
+        st.metrics.n_submitted += 1
 
-            # secure a block for every decode (preempting if needed) ...
-            decode = []
-            for req in plan.decode:
-                if req.state is RequestState.PREEMPTED:
-                    continue                   # lost its cache this step
-                if self._ensure_blocks(req, req.cached + 1, running,
-                                       waiting, metrics, protect=decode):
-                    decode.append(req)
-            # ... and blocks for prefill chunks (deferred if pool is full)
-            prefill = []
-            for req, chunk in plan.prefill:
-                target = req.total_tokens if self.batcher.reserve_full \
-                    else req.cached + chunk
-                if self.batcher.reserve_full:
-                    if not self.pool.can_reserve(req.rid, target):
-                        continue
-                    self.pool.reserve(req.rid, target)
-                    self.pool.grow(req.rid, req.cached + chunk)
-                else:
-                    if not self.pool.can_grow(req.rid, target):
-                        continue
-                    self.pool.grow(req.rid, target)
-                prefill.append((req, chunk, chunk >= req.prefill_remaining))
-                if timing:
-                    sched_ts.setdefault(req.rid, now)
+    def next_time(self) -> float | None:
+        """Earliest simulated time this replica can make progress, or
+        ``None`` when it is fully drained.  With work queued or running
+        that is *now*; idle, it is the next pending arrival or retry
+        (the fleet clock advances the earliest replica first)."""
+        st = self._st
+        if st is None or st.drained:
+            return None
+        if st.waiting or st.running:
+            return st.now
+        times = []
+        if st.i < len(st.reqs):
+            times.append(st.reqs[st.i].arrival_s)
+        if st.retry_heap:
+            times.append(st.retry_heap[0][0])
+        return max(st.now, min(times)) if times else None
 
-            if not decode and not prefill:
-                holders = [r for r in waiting if r.cached > 0]
-                if holders and not running:
-                    # pool full of stalled partial prefills: reclaim them
-                    for req in holders:
-                        self._preempt(req, running, waiting, metrics)
-                    continue
-                nxt = self._next_event(reqs, i, retry_heap, now, fplan)
-                if nxt is not None and nxt > now:
-                    now = nxt                  # blocked until next event
-                    continue
-                # true deadlock: watchdog sheds and continues, the
-                # baseline surfaces a typed error with the state attached
-                if res is not None and res.watchdog:
-                    victim = self.scheduler.pick_shed(waiting + running)
-                    if victim is not None:
-                        self._terminate(victim, RequestState.SHED,
-                                        running, waiting)
-                        metrics.on_shed(victim)
-                        continue
-                raise DeadlockError(
-                    "serving deadlock: no step schedulable and no "
-                    "future event can unblock it",
-                    snapshot=self._snapshot(now, steps, waiting, running,
-                                            metrics))
+    def sync_clock(self, now_s: float) -> None:
+        """Fast-forward this replica's local clock to the fleet clock
+        (never backwards).  The fleet calls it when routing work at
+        global time *now_s* so an idle replica cannot execute routed
+        work in its local past — the lockstep-clock contract."""
+        st = self._st
+        if st is not None and now_s > st.now:
+            st.now = now_s
 
-            # price the step and advance the clock
-            chunks = [(c, req.cached) for req, c, _ in prefill]
-            n_emit = len(decode) + sum(1 for req, _, completing in prefill
-                                       if completing and req.generated == 0)
-            dt = self.cost.step_seconds(chunks,
-                                        [r.cached for r in decode],
-                                        n_emit)
-            failed = False
-            if fplan is not None:
-                mult = fplan.multiplier(now)   # stragglers stretch steps
-                dt *= mult
-                failed = fplan.step_fails(steps)
-                if mult != 1.0 and obs.metrics.enabled:
-                    obs.inc("fault_injections", kind="straggler_step")
-            step_start = now
-            now += dt
-            metrics.now_s = now
+    @property
+    def queue_depth(self) -> int:
+        """Requests queued on this replica but not yet running — the
+        admitted waiting set plus pushed arrivals not yet admitted
+        (router/autoscaler gauge; pool state lags the un-admitted tail,
+        queue depth must not)."""
+        st = self._st
+        if st is None:
+            return 0
+        return len(st.waiting) + (len(st.reqs) - st.i)
 
-            if failed:
-                # transient step failure: the wall time is spent but the
-                # work is lost — token accounting rolls back, the blocks
-                # stay held for the redo
-                metrics.on_step_failure()
-                for req in decode:
-                    self.pool.roll_back_tokens(req.rid, req.cached)
-                for req, _, _ in prefill:
-                    self.pool.roll_back_tokens(req.rid, req.cached)
+    @property
+    def in_flight(self) -> int:
+        """Queued + running requests currently owned by this replica."""
+        st = self._st
+        if st is None:
+            return 0
+        return len(st.waiting) + len(st.running) + (len(st.reqs) - st.i)
+
+    @property
+    def live_metrics(self):
+        """The in-progress run's :class:`ServeMetrics` (``None`` when no
+        run is open) — fleet gauges read cumulative goodput from it."""
+        st = self._st
+        return None if st is None else st.metrics
+
+    def advance(self) -> bool:
+        """One iteration of the event loop.  Returns ``False`` once
+        nothing can change without external input: the run is drained,
+        or every remaining local event is unknown (an external driver
+        must push work or the run is over)."""
+        st = self._st
+        if st is None:
+            raise ServeConfigError("advance() called before begin()")
+        if st.drained:
+            return False
+        metrics, obs, timing = st.metrics, st.obs, st.timing
+        reqs, retry_heap = st.reqs, st.retry_heap
+        waiting, running = st.waiting, st.running
+        res, fplan = self.resilience, self.faults
+        now = st.now
+        metrics.now_s = now
+        if fplan is not None:
+            lost = fplan.lost_fraction(now)
+            self.pool.set_lost_fraction(lost)
+            if lost > 0.0 and obs.metrics.enabled:
+                obs.set_gauge("kv_lost_fraction", lost)
+        # re-admit backed-off retries that have come due ...
+        while retry_heap and retry_heap[0][0] <= now:
+            _, _, req = heapq.heappop(retry_heap)
+            self._admit(req, waiting, retry_heap, metrics, now,
+                        st.degraded)
+            if timing and req in waiting:
+                st.admit_ts.setdefault(req.rid, now)
+        # ... and admit everything that has arrived by the clock
+        while st.i < len(reqs) and reqs[st.i].arrival_s <= now:
+            req = reqs[st.i]
+            st.i += 1
+            self._admit(req, waiting, retry_heap, metrics, now,
+                        st.degraded)
+            if timing and req in waiting:
+                st.admit_ts.setdefault(req.rid, now)
+        # hardened: cancel abandoned work, time out missed deadlines
+        if res is not None:
+            self._reap(waiting, running, metrics, now)
+        if not waiting and not running:
+            nxt = self._next_event(reqs, st.i, retry_heap, now, fplan)
+            if nxt is None:
+                return False           # everything already terminal
+            st.now = max(now, nxt)
+            return True
+
+        # overload detection and graceful degradation
+        if res is not None and res.degrade is not None:
+            d = res.degrade
+            stressed = len(waiting) > d.queue_hi \
+                or self.pool.occupancy >= d.occupancy_hi
+            if not st.degraded:
+                st.hot = st.hot + 1 if stressed else 0
+                if st.hot >= d.enter_after_steps:
+                    st.degraded, st.hot, st.cool = True, 0, 0
             else:
-                # apply decode effects
-                for req in decode:
-                    req.cached += 1
-                    req.generated += 1
-                    req.token_times.append(now)
+                st.cool = 0 if stressed else st.cool + 1
+                if st.cool >= d.exit_after_steps:
+                    st.degraded, st.hot, st.cool = False, 0, 0
+            if st.degraded:
+                self._degrade_actions(d, waiting, running, metrics)
+
+        st.waiting = waiting = self.scheduler.order_waiting(waiting)
+        budget = res.degrade.token_budget \
+            if st.degraded and res is not None and res.degrade is not None \
+            else None
+        plan = self.batcher.plan(running, waiting, token_budget=budget)
+
+        # secure a block for every decode (preempting if needed) ...
+        decode = []
+        for req in plan.decode:
+            if req.state is RequestState.PREEMPTED:
+                continue                   # lost its cache this step
+            if self._ensure_blocks(req, req.cached + 1, running,
+                                   waiting, metrics, protect=decode):
+                decode.append(req)
+        # ... and blocks for prefill chunks (deferred if pool is full)
+        prefill = []
+        for req, chunk in plan.prefill:
+            target = req.total_tokens if self.batcher.reserve_full \
+                else req.cached + chunk
+            if self.batcher.reserve_full:
+                if not self.pool.can_reserve(req.rid, target):
+                    continue
+                self.pool.reserve(req.rid, target)
+                self.pool.grow(req.rid, req.cached + chunk)
+            else:
+                if not self.pool.can_grow(req.rid, target):
+                    continue
+                self.pool.grow(req.rid, target)
+            prefill.append((req, chunk, chunk >= req.prefill_remaining))
+            if timing:
+                st.sched_ts.setdefault(req.rid, now)
+
+        if not decode and not prefill:
+            holders = [r for r in waiting if r.cached > 0]
+            if holders and not running:
+                # pool full of stalled partial prefills: reclaim them
+                for req in holders:
+                    self._preempt(req, running, waiting, metrics)
+                return True
+            nxt = self._next_event(reqs, st.i, retry_heap, now, fplan)
+            if nxt is not None and nxt > now:
+                st.now = nxt               # blocked until next event
+                return True
+            # true deadlock: watchdog sheds and continues, the
+            # baseline surfaces a typed error with the state attached
+            if res is not None and res.watchdog:
+                victim = self.scheduler.pick_shed(waiting + running)
+                if victim is not None:
+                    self._terminate(victim, RequestState.SHED,
+                                    running, waiting)
+                    metrics.on_shed(victim)
+                    return True
+            raise DeadlockError(
+                "serving deadlock: no step schedulable and no "
+                "future event can unblock it",
+                snapshot=self._snapshot(now, st.steps, waiting, running,
+                                        metrics))
+
+        # price the step and advance the clock
+        chunks = [(c, req.cached) for req, c, _ in prefill]
+        n_emit = len(decode) + sum(1 for req, _, completing in prefill
+                                   if completing and req.generated == 0)
+        dt = self.cost.step_seconds(chunks,
+                                    [r.cached for r in decode],
+                                    n_emit)
+        failed = False
+        if fplan is not None:
+            mult = fplan.multiplier(now)   # stragglers stretch steps
+            dt *= mult
+            failed = fplan.step_fails(st.steps)
+            if mult != 1.0 and obs.metrics.enabled:
+                obs.inc("fault_injections", kind="straggler_step")
+        step_start = now
+        now += dt
+        st.now = now
+        metrics.now_s = now
+
+        if failed:
+            # transient step failure: the wall time is spent but the
+            # work is lost — token accounting rolls back, the blocks
+            # stay held for the redo
+            metrics.on_step_failure()
+            for req in decode:
+                self.pool.roll_back_tokens(req.rid, req.cached)
+            for req, _, _ in prefill:
+                self.pool.roll_back_tokens(req.rid, req.cached)
+        else:
+            # apply decode effects
+            for req in decode:
+                req.cached += 1
+                req.generated += 1
+                req.token_times.append(now)
+                if req.done:
+                    self._finish(req, now, running, metrics)
+            # apply prefill effects
+            for req, chunk, completing in prefill:
+                req.cached += chunk
+                req.state = RequestState.PREFILL
+                if completing:
+                    if req.generated == 0:  # prompt pass emits token 1
+                        req.generated = 1
+                        req.first_token_s = now
+                        req.token_times.append(now)
+                    req.state = RequestState.DECODE
+                    waiting.remove(req)
+                    running.append(req)
                     if req.done:
                         self._finish(req, now, running, metrics)
-                # apply prefill effects
-                for req, chunk, completing in prefill:
-                    req.cached += chunk
-                    req.state = RequestState.PREFILL
-                    if completing:
-                        if req.generated == 0:  # prompt pass emits token 1
-                            req.generated = 1
-                            req.first_token_s = now
-                            req.token_times.append(now)
-                        req.state = RequestState.DECODE
-                        waiting.remove(req)
-                        running.append(req)
-                        if req.done:
-                            self._finish(req, now, running, metrics)
 
-            metrics.sample(now, len(waiting), len(decode) + len(prefill),
-                           self.pool.occupancy, self.pool.fragmentation)
-            if obs.metrics.enabled:
-                obs.set_gauge("kv_free_blocks", self.pool.free_blocks)
-            if timing:
-                obs.tracer.complete("step", step_start, now, track="serve",
-                                    decode=len(decode),
-                                    prefill=len(prefill), failed=failed)
-            steps += 1
-            if steps > max_steps:
-                raise StepBudgetError(
-                    f"simulation exceeded {max_steps} steps",
-                    snapshot=self._snapshot(now, steps, waiting, running,
-                                            metrics))
-
+        metrics.sample(now, len(waiting), len(decode) + len(prefill),
+                       self.pool.occupancy, self.pool.fragmentation)
+        if obs.metrics.enabled:
+            obs.set_gauge("kv_free_blocks", self.pool.free_blocks)
         if timing:
-            self._emit_timelines(obs.tracer, reqs, admit_ts, sched_ts, now)
+            obs.tracer.complete("step", step_start, now,
+                                track=self.step_track,
+                                decode=len(decode),
+                                prefill=len(prefill), failed=failed)
+        st.steps += 1
+        if st.steps > st.max_steps:
+            raise StepBudgetError(
+                f"simulation exceeded {st.max_steps} steps",
+                snapshot=self._snapshot(now, st.steps, waiting, running,
+                                        metrics))
+        return True
+
+    def evacuate(self) -> list:
+        """Replica death: release every KV block and hand back every
+        non-terminal request, reset for re-prefill elsewhere.  The run
+        stays open so :meth:`finish` can still report what this replica
+        completed before dying.  Returns the survivors in deterministic
+        order (running, waiting, backed-off retries, un-admitted)."""
+        st = self._st
+        if st is None:
+            return []
+        survivors = (list(st.running) + list(st.waiting)
+                     + [req for _, _, req in sorted(
+                         st.retry_heap, key=lambda e: (e[0], e[1]))]
+                     + st.reqs[st.i:])
+        st.running.clear()
+        st.waiting.clear()
+        st.retry_heap.clear()
+        st.i = len(st.reqs)
+        out = []
+        for req in survivors:
+            self.pool.release(req.rid)
+            req.cached = 0
+            if req.terminal:
+                continue
+            if req.state is not RequestState.QUEUED:
+                req.state = RequestState.PREEMPTED
+            req.failovers += 1
+            st.metrics.on_failover(req)
+            out.append(req)
+        self.pool.set_lost_fraction(0.0)
+        return out
+
+    def finish(self) -> ServeReport:
+        """Close the run and report.  The incremental engine's terminal
+        step — :meth:`run` is exactly begin + advance-until-done +
+        finish."""
+        st = self._st
+        if st is None:
+            raise ServeConfigError("finish() called before begin()")
+        self._st = None
+        if st.timing:
+            self._emit_timelines(st.obs.tracer, st.reqs, st.admit_ts,
+                                 st.sched_ts, st.now)
         return ServeReport(
-            summary=metrics.summary(now),
-            metrics=metrics,
-            requests=tuple(reqs),
+            summary=st.metrics.summary(st.now),
+            metrics=st.metrics,
+            requests=tuple(st.reqs),
             config_name=self.config.name,
             machine_name=self.machine.name,
             stack_name=self.stack_name,
             batcher_name=self.batcher.name,
-            n_steps=steps)
+            n_steps=st.steps,
+            replica_id=self.replica_id)
 
     def _emit_timelines(self, tracer, reqs, admit_ts, sched_ts,
                         end_s) -> None:
@@ -320,7 +530,7 @@ class ServeSimulator:
         span with ``queued``/``prefill``/``decode`` phases inside it
         (preemption instants were emitted live by the metrics mirror)."""
         for r in reqs:
-            track = f"req {r.rid}"
+            track = self._req_track(r.rid)
             finish = r.finish_s if r.finish_s is not None else end_s
             tracer.complete("request", r.arrival_s, finish, track=track,
                             state=r.state.value, prompt=r.prompt_tokens,

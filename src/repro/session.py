@@ -173,6 +173,17 @@ class Session:
         return ServeSimulator(config, self._resolve_machine(machine),
                               obs=self.obs, **kwargs)
 
+    def fleet(self, config, machines="hetero4", **kwargs):
+        """A :class:`~repro.fleet.cluster.FleetSimulator` bound to this
+        session's observability.  *machines* is a cluster-preset name
+        (see :data:`repro.platform.CLUSTER_PRESETS`) or an iterable of
+        machine models, one per replica slot."""
+        from .fleet.cluster import FleetSimulator  # deferred, as above
+        if isinstance(machines, str):
+            from .platform.presets import cluster_preset
+            machines = cluster_preset(machines)
+        return FleetSimulator(config, machines, obs=self.obs, **kwargs)
+
 
 _DEFAULT: Session | None = None
 

@@ -81,9 +81,9 @@ class _SharedState:
     (``total shared bytes / total bandwidth``) — a two-level roofline.
     """
 
-    def __init__(self, machine: MachineModel, nthreads: int):
+    def __init__(self, machine: MachineModel, num_threads: int):
         self.machine = machine
-        self.nthreads = max(1, nthreads)
+        self.num_threads = max(1, num_threads)
         llc = machine.llc
         self.llc = LRUCache(llc.size_bytes) if llc.shared else None
         freq = machine.freq_ghz * GIGA
@@ -163,7 +163,7 @@ def _event_seconds(ev: BodyEvent, core: _Core, shared: _SharedState,
     return max(comp_s, mem_s)
 
 
-def _build_cores(machine: MachineModel, nthreads: int):
+def _build_cores(machine: MachineModel, num_threads: int):
     private = [lv for lv in machine.caches if not lv.shared]
     caps = [lv.size_bytes for lv in private]
     bws = [(lambda lv: (lambda core: lv.bw_bytes_per_cycle * core.freq))(lv)
@@ -172,11 +172,11 @@ def _build_cores(machine: MachineModel, nthreads: int):
     cid = 0
     for cluster in machine.clusters:
         for _ in range(cluster.count):
-            if cid >= nthreads:
+            if cid >= num_threads:
                 break
             cores.append(_Core(cid, cluster, caps))
             cid += 1
-    while cid < nthreads:  # more threads than cores: round-robin clusters
+    while cid < num_threads:  # more threads than cores: round-robin clusters
         cluster = machine.clusters[cid % len(machine.clusters)]
         cores.append(_Core(cid, cluster, caps))
         cid += 1
@@ -190,14 +190,14 @@ def simulate_traces(traces, machine: MachineModel,
     Threads advance round-robin one event at a time so the shared LLC
     sees an interleaving close to concurrent execution.
     """
-    nthreads = len(traces)
-    cores, private_bws = _build_cores(machine, nthreads)
-    shared = _SharedState(machine, nthreads)
+    num_threads = len(traces)
+    cores, private_bws = _build_cores(machine, num_threads)
+    shared = _SharedState(machine, num_threads)
     lead = machine.clusters[0]
     n_levels = len(machine.caches)
     level_bytes = [0.0] * (n_levels + 1)
 
-    cursors = [0] * nthreads
+    cursors = [0] * num_threads
     remaining = sum(len(t) for t in traces)
     while remaining:
         for tid, trace in enumerate(traces):
@@ -234,9 +234,8 @@ def simulate_flat(trace: ThreadTrace, machine: MachineModel,
     available core, so fast P-cores absorb more iterations than slow
     E-cores (the ADL mechanism of Fig 7).
     """
-    nthreads = num_threads
-    cores, private_bws = _build_cores(machine, nthreads)
-    shared = _SharedState(machine, nthreads)
+    cores, private_bws = _build_cores(machine, num_threads)
+    shared = _SharedState(machine, num_threads)
     lead = machine.clusters[0]
     n_levels = len(machine.caches)
     level_bytes = [0.0] * (n_levels + 1)

@@ -11,7 +11,7 @@ on which machine model replays it, and many candidates share an order:
   dynamic path needs.
 
 :class:`TraceCache` exploits both: a bounded, thread-safe LRU keyed by
-``(body, loop declarations, normalized order, nthreads, tid)`` holding
+``(body, loop declarations, normalized order, num_threads, tid)`` holding
 raw :class:`ThreadTrace` objects (for the engine) and their
 :class:`~repro.simulator.reuse.CompiledTrace` forms (for the vectorized
 perfmodel).  Tuning sweeps across several machine models — the paper

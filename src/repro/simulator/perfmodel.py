@@ -108,9 +108,9 @@ def predict(loop: ThreadedLoop, sim_body, machine: MachineModel,
         return pred
 
 
-def _thread_view(machine: MachineModel, nthreads: int) -> tuple:
+def _thread_view(machine: MachineModel, num_threads: int) -> tuple:
     """Per-thread private view of the hierarchy: shared levels contribute
-    a 1/nthreads capacity and bandwidth share; data sharing itself is
+    a 1/num_threads capacity and bandwidth share; data sharing itself is
     ignored.  Returns ``(capacities, bandwidths, freq)`` with the DRAM
     bandwidth appended last."""
     capacities = []
@@ -118,12 +118,12 @@ def _thread_view(machine: MachineModel, nthreads: int) -> tuple:
     freq = machine.freq_ghz * GIGA
     for lv in machine.caches:
         if lv.shared:
-            capacities.append(max(1, lv.size_bytes // nthreads))
-            bandwidths.append(lv.bw_bytes_per_cycle * freq / nthreads)
+            capacities.append(max(1, lv.size_bytes // num_threads))
+            bandwidths.append(lv.bw_bytes_per_cycle * freq / num_threads)
         else:
             capacities.append(lv.size_bytes)
             bandwidths.append(lv.bw_bytes_per_cycle * freq)
-    bandwidths.append(machine.dram_bw_gbytes * GIGA / nthreads)
+    bandwidths.append(machine.dram_bw_gbytes * GIGA / num_threads)
     return capacities, bandwidths, freq
 
 
@@ -139,8 +139,8 @@ def predict_traces(traces, machine: MachineModel, num_threads: int,
     else:
         picked = list(traces)
 
-    nthreads = max(1, num_threads)
-    capacities, bandwidths, freq = _thread_view(machine, nthreads)
+    num_threads = max(1, num_threads)
+    capacities, bandwidths, freq = _thread_view(machine, num_threads)
     n_levels = len(machine.caches)
 
     per_thread_s = []
@@ -187,28 +187,28 @@ def _predict_memoized(loop: ThreadedLoop, sim_body, machine: MachineModel,
     memoized capture) when a trace violates the reuse-distance
     preconditions.
     """
-    nthreads = loop.num_threads
-    sampled = sample_threads is not None and sample_threads < nthreads
+    num_threads = loop.num_threads
+    sampled = sample_threads is not None and sample_threads < num_threads
     if sampled:
-        step = max(1, nthreads // sample_threads)
-        tids = list(range(0, nthreads, step))[:sample_threads]
-        if tids[-1] != nthreads - 1:
-            tids.append(nthreads - 1)
+        step = max(1, num_threads // sample_threads)
+        tids = list(range(0, num_threads, step))[:sample_threads]
+        if tids[-1] != num_threads - 1:
+            tids.append(num_threads - 1)
     else:
-        tids = list(range(nthreads))
+        tids = list(range(num_threads))
     try:
         compiled = [trace_cache.compiled_thread_trace(loop, sim_body, tid,
                                                       body_key=body_key)
                     for tid in tids]
-        pred = _predict_compiled(compiled, machine, nthreads)
+        pred = _predict_compiled(compiled, machine, num_threads)
     except ValueError:
         traces = [trace_cache.thread_trace(loop, sim_body, tid,
                                            body_key=body_key)
                   for tid in tids]
-        pred = predict_traces(traces, machine, nthreads, None)
+        pred = predict_traces(traces, machine, num_threads, None)
     if sampled:
         flops = (total_flops if total_flops is not None
-                 else pred.total_flops * nthreads / len(tids))
+                 else pred.total_flops * num_threads / len(tids))
         return PerfPrediction(pred.seconds, flops,
                               pred.per_thread_seconds, pred.hit_fractions)
     if total_flops is not None:
@@ -226,8 +226,8 @@ def _predict_compiled(compiled, machine: MachineModel,
     element adds, like the scalar ``+=`` loop) and totals via
     ``np.cumsum(..)[-1]`` (sequential, unlike pairwise ``np.sum``).
     """
-    nthreads = max(1, num_threads)
-    capacities, bandwidths, freq = _thread_view(machine, nthreads)
+    num_threads = max(1, num_threads)
+    capacities, bandwidths, freq = _thread_view(machine, num_threads)
     bw = np.asarray(bandwidths, dtype=np.float64)
     n_levels = len(machine.caches)
     level_bytes = np.zeros(n_levels + 1, dtype=np.float64)

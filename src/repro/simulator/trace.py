@@ -210,12 +210,12 @@ class _TracingContext(NestContext):
 
     The real runtime's dynamic counter is first-come-first-served; during
     tracing each thread runs in isolation, so instead chunk *i* of a
-    region is granted to thread ``i % nthreads`` — every chunk is traced
+    region is granted to thread ``i % num_threads`` — every chunk is traced
     exactly once across threads.
     """
 
-    def __init__(self, nthreads, grid, tid, on_barrier=None, on_chunk=None):
-        super().__init__(nthreads, grid, use_real_barrier=False)
+    def __init__(self, num_threads, grid, tid, on_barrier=None, on_chunk=None):
+        super().__init__(num_threads, grid, use_real_barrier=False)
         self._tid = tid
         self._round: dict = {}
         self._on_barrier = on_barrier
@@ -236,7 +236,7 @@ class _TracingContext(NestContext):
             if self._on_chunk is not None:
                 self._on_chunk(ChunkMarker(key, None))
             return None
-        self._round[key] = i + self.nthreads
+        self._round[key] = i + self.num_threads
         bounds = (i * chunk, min((i + 1) * chunk, total))
         if self._on_chunk is not None:
             self._on_chunk(ChunkMarker(key, bounds))

@@ -361,8 +361,8 @@ def fuzz_family(family: FuzzFamily, cases: int | None = None, seed: int = 0,
         if rng.random() < invalid_fraction:
             _run_invalid_case(family, _near_valid_spec(rng, family), res)
         else:
-            spec, blocks, nthreads = _valid_case(rng, family)
-            _run_valid_case(family, spec, blocks, nthreads, res)
+            spec, blocks, num_threads = _valid_case(rng, family)
+            _run_valid_case(family, spec, blocks, num_threads, res)
     return res
 
 

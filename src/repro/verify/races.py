@@ -17,7 +17,7 @@ units* are unordered.  A unit is a thread for static/grid schedules; for
 ``schedule(dynamic)`` worksharing regions each granted chunk is its own
 unit, because the tracing proxy's round-robin chunk deal is only one of
 the assignments the real first-come-first-served counter can produce
-(two conflicting chunks congruent modulo ``nthreads`` land on one
+(two conflicting chunks congruent modulo ``num_threads`` land on one
 simulated thread yet race on real ones).
 
 Two unordered accesses to the same interned slice key conflict when at

@@ -37,6 +37,8 @@ API_SNAPSHOT = [
     "simulate", "predict",
     # serve
     "ServeSimulator", "TrafficGenerator",
+    # fleet
+    "FleetSimulator",
     # tuner
     "TuningConstraints", "generate_candidates", "search",
     # verify

@@ -1,0 +1,98 @@
+"""Autoscaler hysteresis: consecutive breaches, dead band, bounds."""
+
+from repro.fleet import AutoscalePolicy, Autoscaler, FleetGauges
+
+
+def gauges(queue, active=2, tps=0.0, now=0.0):
+    return FleetGauges(now_s=now, active_replicas=active,
+                       queue_depth=queue, goodput_tps=tps)
+
+
+POLICY = AutoscalePolicy(min_replicas=1, max_replicas=4, interval_s=1.0,
+                         queue_hi=10.0, queue_lo=2.0, up_after=2,
+                         down_after=3)
+
+
+class TestScaleUp:
+    def test_needs_consecutive_hot_intervals(self):
+        sc = Autoscaler(POLICY)
+        assert sc.decide(gauges(queue=50), 4) == 0   # first breach: wait
+        assert sc.decide(gauges(queue=50), 4) == 1   # second: scale up
+
+    def test_dead_band_interval_resets_streak(self):
+        sc = Autoscaler(POLICY)
+        assert sc.decide(gauges(queue=50), 4) == 0
+        assert sc.decide(gauges(queue=10), 4) == 0   # mid band
+        assert sc.decide(gauges(queue=50), 4) == 0   # streak restarted
+        assert sc.decide(gauges(queue=50), 4) == 1
+
+    def test_capped_at_max_replicas(self):
+        sc = Autoscaler(POLICY)
+        for _ in range(10):
+            assert sc.decide(gauges(queue=999, active=4), 4) == 0
+
+    def test_max_defaults_to_slots(self):
+        sc = Autoscaler(AutoscalePolicy(up_after=1))
+        assert sc.decide(gauges(queue=999, active=2), 2) == 0
+        assert sc.decide(gauges(queue=999, active=2), 3) == 1
+
+    def test_queue_judged_per_replica(self):
+        sc = Autoscaler(POLICY)
+        # 30 waiting over 4 replicas = 7.5 < queue_hi: not hot
+        assert sc.decide(gauges(queue=30, active=4), 8) == 0
+        assert sc.decide(gauges(queue=30, active=4), 8) == 0
+        # same depth over 2 replicas = 15 > queue_hi: hot
+        assert sc.decide(gauges(queue=30, active=2), 8) == 0
+        assert sc.decide(gauges(queue=30, active=2), 8) == 1
+
+
+class TestScaleDown:
+    def test_needs_consecutive_calm_intervals(self):
+        sc = Autoscaler(POLICY)
+        assert sc.decide(gauges(queue=0), 4) == 0
+        assert sc.decide(gauges(queue=0), 4) == 0
+        assert sc.decide(gauges(queue=0), 4) == -1
+
+    def test_floor_at_min_replicas(self):
+        sc = Autoscaler(POLICY)
+        for _ in range(10):
+            assert sc.decide(gauges(queue=0, active=1), 4) == 0
+
+    def test_goodput_guard_blocks_scale_down(self):
+        pol = AutoscalePolicy(queue_lo=2.0, down_after=2,
+                              down_goodput_tps=100.0)
+        sc = Autoscaler(pol)
+        # queues calm but replicas still pushing tokens: keep them
+        for _ in range(6):
+            assert sc.decide(gauges(queue=0, tps=5000.0), 4) == 0
+        assert sc.decide(gauges(queue=0, tps=10.0), 4) == 0
+        assert sc.decide(gauges(queue=0, tps=10.0), 4) == -1
+
+
+class TestStateMachine:
+    def test_acting_resets_own_streak(self):
+        sc = Autoscaler(POLICY)
+        sc.decide(gauges(queue=50), 4)
+        assert sc.decide(gauges(queue=50), 4) == 1
+        # the streak restarted: the very next hot interval cannot fire
+        assert sc.decide(gauges(queue=50), 4) == 0
+        assert sc.decide(gauges(queue=50), 4) == 1
+
+    def test_reset_clears_counters(self):
+        sc = Autoscaler(POLICY)
+        sc.decide(gauges(queue=50), 4)
+        sc.reset()
+        assert sc.decide(gauges(queue=50), 4) == 0
+
+    def test_decisions_are_pure_arithmetic(self):
+        runs = []
+        for _ in range(2):
+            sc = Autoscaler(POLICY)
+            runs.append([sc.decide(gauges(queue=q), 4)
+                         for q in (50, 50, 50, 0, 0, 0, 5, 0, 0, 0)])
+        assert runs[0] == runs[1]
+
+    def test_default_policy(self):
+        sc = Autoscaler()
+        assert sc.policy.min_replicas == 1
+        assert sc.decide(gauges(queue=0, active=1), 1) == 0

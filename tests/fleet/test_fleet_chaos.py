@@ -1,0 +1,155 @@
+"""Replica death, failover, and the no-lost-request invariant."""
+
+import pytest
+
+from repro.fleet import FleetSimulator, PoissonTrace
+from repro.platform.presets import GVT3, SPR, SPR_1S, ZEN4
+from repro.resilience import (FleetFaultPlan, ReplicaFault,
+                              ResilienceConfig, check_fleet_invariants,
+                              fleet_chaos_trial)
+from repro.serve.request import RequestState
+from repro.workloads import LlmConfig
+
+TINY = LlmConfig("tiny", layers=4, hidden=256, heads=8, intermediate=1024,
+                 vocab=8192)
+MED = LlmConfig("med", layers=8, hidden=1024, heads=16, intermediate=4096,
+                vocab=32000)
+HETERO = (SPR, GVT3, ZEN4, SPR_1S)
+NO_DEGRADE = ResilienceConfig(deadline_s=120.0, degrade=None)
+
+
+def fleet(config=MED, faults=None, **kw):
+    kw.setdefault("resilience", NO_DEGRADE)
+    kw.setdefault("mem_fraction", 0.01)
+    return FleetSimulator(config, HETERO, faults=faults, **kw)
+
+
+# long decodes keep work in flight when the axe falls
+BUSY_TRACE = PoissonTrace(seed=11, n_requests=300, rate_rps=60,
+                          mean_prompt=512, mean_new_tokens=256,
+                          max_new_tokens=1024)
+
+
+class TestFleetFaultPlan:
+    def test_death_events_sorted_and_typed(self):
+        plan = FleetFaultPlan(deaths=(
+            ReplicaFault(replica=2, at_s=9.0, revive_s=20.0),
+            ReplicaFault(replica=0, at_s=4.0)))
+        evs = plan.death_events()
+        assert [t for t, _, _ in evs] == sorted(t for t, _, _ in evs)
+        assert (4.0, 0, 0) in evs and (9.0, 0, 2) in evs
+        assert (20.0, 1, 2) in evs
+
+    def test_sample_is_seeded(self):
+        a = FleetFaultPlan.sample(seed=3, horizon_s=50.0, n_replicas=4)
+        b = FleetFaultPlan.sample(seed=3, horizon_s=50.0, n_replicas=4)
+        assert a.deaths == b.deaths
+        c = FleetFaultPlan.sample(seed=4, horizon_s=50.0, n_replicas=4)
+        assert a.deaths != c.deaths
+
+    def test_plan_for_alignment(self):
+        plan = FleetFaultPlan.sample(seed=1, horizon_s=10.0, n_replicas=2,
+                                     per_replica_faults=True)
+        assert plan.plan_for(0) is plan.plans[0]
+        assert plan.plan_for(99) is None
+
+
+class TestFailoverConservation:
+    @pytest.fixture(scope="class")
+    def killed_run(self):
+        faults = FleetFaultPlan(seed=3, deaths=(
+            ReplicaFault(replica=1, at_s=4.0, revive_s=9.0),))
+        f = fleet(faults=faults)
+        report = f.run(BUSY_TRACE)
+        return f, report
+
+    def test_no_request_lost(self, killed_run):
+        f, report = killed_run
+        assert check_fleet_invariants(f, report) == []
+        s = report.summary
+        assert s.n_replica_deaths == 1
+        assert s.n_terminal == s.n_injected == 300
+
+    def test_in_flight_work_failed_over(self, killed_run):
+        _, report = killed_run
+        s = report.summary
+        assert s.n_failovers >= 1
+        moved = [r for r in report.requests if r.failovers > 0]
+        assert len(moved) >= 1
+        for req in moved:
+            assert req.state is RequestState.FINISHED
+            # re-ran elsewhere: tokens stay causally ordered across the
+            # failover boundary
+            assert req.token_times == sorted(req.token_times)
+            assert req.finish_s >= 4.0
+
+    def test_dead_incarnation_accounts_for_evacuees(self, killed_run):
+        _, report = killed_run
+        dead = [r for r in report.replica_reports
+                if r.replica_id == 1 and r.summary.n_failed_over > 0]
+        assert len(dead) == 1
+        s = dead[0].summary
+        assert s.n_terminal + s.n_failed_over == s.n_submitted
+
+    def test_revived_replica_serves_again(self, killed_run):
+        _, report = killed_run
+        kinds = [k for _, k, _ in report.events]
+        assert kinds.count("replica_death") == 1
+        if "replica_revive" in kinds:
+            incarnations = [r for r in report.replica_reports
+                            if r.replica_id == 1]
+            assert len(incarnations) == 2
+
+    def test_deterministic_under_death(self):
+        faults = FleetFaultPlan(seed=3, deaths=(
+            ReplicaFault(replica=1, at_s=4.0, revive_s=9.0),))
+        runs = []
+        for _ in range(2):
+            report = fleet(faults=faults).run(BUSY_TRACE)
+            s = report.summary
+            runs.append((s.to_dict(), report.events,
+                         tuple((r.rid, r.finish_s, r.failovers)
+                               for r in report.requests)))
+        assert runs[0] == runs[1]
+
+
+class TestTotalLoss:
+    def test_all_replicas_dead_rejects_instead_of_losing(self):
+        faults = FleetFaultPlan(deaths=tuple(
+            ReplicaFault(replica=i, at_s=0.5) for i in range(4)))
+        f = fleet(config=MED, faults=faults)
+        trace = PoissonTrace(seed=7, n_requests=120, rate_rps=30,
+                             mean_new_tokens=256, max_new_tokens=1024)
+        report = f.run(trace)
+        s = report.summary
+        assert s.n_replica_deaths == 4
+        assert s.n_unroutable > 0
+        assert s.n_terminal == s.n_injected == 120
+        assert check_fleet_invariants(f, report) == []
+
+    def test_revival_rescues_buffered_arrivals(self):
+        faults = FleetFaultPlan(deaths=tuple(
+            ReplicaFault(replica=i, at_s=0.5,
+                         revive_s=3.0 if i == 0 else None)
+            for i in range(4)))
+        f = fleet(config=TINY, faults=faults)
+        trace = PoissonTrace(seed=7, n_requests=100, rate_rps=50)
+        report = f.run(trace)
+        s = report.summary
+        assert s.n_terminal == s.n_injected == 100
+        # arrivals during the outage buffered, then drained on revival
+        assert s.n_finished > 0
+        assert check_fleet_invariants(f, report) == []
+
+
+class TestChaosSweep:
+    @pytest.mark.parametrize("seed", [1, 5, 23])
+    def test_sampled_fault_plans_never_lose_requests(self, seed):
+        faults = FleetFaultPlan.sample(seed=seed, horizon_s=6.0,
+                                       n_replicas=4, n_deaths=2)
+        f = fleet(faults=faults)
+        trace = PoissonTrace(seed=seed + 100, n_requests=200, rate_rps=60,
+                             mean_new_tokens=128, max_new_tokens=512)
+        outcome = fleet_chaos_trial(f, trace, seed=seed)
+        assert outcome.ok, outcome.violations
+        assert outcome.summary.n_terminal == outcome.summary.n_injected

@@ -1,0 +1,127 @@
+"""Routing policies against stub replicas."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.fleet import (LeastKvLoadedRouter, PrefixAffinityRouter, ROUTERS,
+                         RoundRobinRouter, Router, SloStickyRouter,
+                         make_router)
+from repro.serve import Request
+
+
+@dataclass
+class StubReplica:
+    id: int
+    kv_load: float = 0.0
+    in_flight: int = 0
+
+
+def req(rid=0, priority=0, prompt_hash=None):
+    return Request(rid=rid, arrival_s=0.0, prompt_tokens=64,
+                   max_new_tokens=8, priority=priority,
+                   prompt_hash=prompt_hash)
+
+
+class TestMakeRouter:
+    def test_every_registered_name_resolves(self):
+        for name, cls in ROUTERS.items():
+            router = make_router(name)
+            assert isinstance(router, cls)
+            assert router.name == name
+            assert isinstance(router, Router)
+
+    def test_instance_passthrough(self):
+        r = RoundRobinRouter()
+        assert make_router(r) is r
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            make_router("wishful_thinking")
+
+    def test_wrong_type(self):
+        with pytest.raises(TypeError):
+            make_router(42)
+
+
+class TestRoundRobin:
+    def test_rotation(self):
+        router = RoundRobinRouter()
+        reps = [StubReplica(i) for i in range(3)]
+        picks = [router.route(req(i), reps, 0.0).id for i in range(7)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_reset_restarts(self):
+        router = RoundRobinRouter()
+        reps = [StubReplica(i) for i in range(3)]
+        router.route(req(), reps, 0.0)
+        router.reset()
+        assert router.route(req(), reps, 0.0).id == 0
+
+    def test_shrunk_candidate_set(self):
+        router = RoundRobinRouter()
+        reps = [StubReplica(i) for i in range(4)]
+        for _ in range(3):
+            router.route(req(), reps, 0.0)
+        assert router.route(req(), reps[:2], 0.0).id in (0, 1)
+
+
+class TestLeastKvLoaded:
+    def test_picks_lowest_fraction(self):
+        router = LeastKvLoadedRouter()
+        reps = [StubReplica(0, kv_load=0.9), StubReplica(1, kv_load=0.2),
+                StubReplica(2, kv_load=0.5)]
+        assert router.route(req(), reps, 0.0).id == 1
+
+    def test_in_flight_breaks_ties(self):
+        router = LeastKvLoadedRouter()
+        reps = [StubReplica(0, kv_load=0.3, in_flight=9),
+                StubReplica(1, kv_load=0.3, in_flight=2)]
+        assert router.route(req(), reps, 0.0).id == 1
+
+    def test_id_breaks_full_ties(self):
+        router = LeastKvLoadedRouter()
+        reps = [StubReplica(1), StubReplica(0)]
+        assert router.route(req(), reps, 0.0).id == 0
+
+
+class TestSloSticky:
+    def test_class_sticks_to_first_replica(self):
+        router = SloStickyRouter()
+        reps = [StubReplica(0, kv_load=0.5), StubReplica(1, kv_load=0.1)]
+        first = router.route(req(0, priority=3), reps, 0.0)
+        assert first.id == 1          # least-loaded at first sight
+        reps[1].kv_load = 0.99        # stays pinned even when loaded
+        assert router.route(req(1, priority=3), reps, 1.0).id == 1
+
+    def test_classes_separate(self):
+        router = SloStickyRouter()
+        reps = [StubReplica(0, kv_load=0.0), StubReplica(1, kv_load=0.1)]
+        a = router.route(req(0, priority=0), reps, 0.0)
+        reps[a.id].kv_load = 0.9
+        b = router.route(req(1, priority=1), reps, 0.0)
+        assert a.id != b.id
+
+    def test_repin_after_replica_loss(self):
+        router = SloStickyRouter()
+        reps = [StubReplica(0), StubReplica(1, kv_load=0.2)]
+        assert router.route(req(0, priority=0), reps, 0.0).id == 0
+        survivors = [reps[1]]         # replica 0 died
+        assert router.route(req(1, priority=0), survivors, 1.0).id == 1
+        # re-pinned: replica 0 coming back does not steal the class
+        assert router.route(req(2, priority=0), reps, 2.0).id == 1
+
+
+class TestPrefixAffinity:
+    def test_same_prefix_same_replica(self):
+        router = PrefixAffinityRouter()
+        reps = [StubReplica(i) for i in range(4)]
+        a = router.route(req(0, prompt_hash=6), reps, 0.0)
+        b = router.route(req(1, prompt_hash=6), reps, 5.0)
+        assert a.id == b.id == reps[6 % 4].id
+
+    def test_unhashed_requests_spread_by_rid(self):
+        router = PrefixAffinityRouter()
+        reps = [StubReplica(i) for i in range(3)]
+        picks = {router.route(req(rid), reps, 0.0).id for rid in range(9)}
+        assert picks == {0, 1, 2}

@@ -1,0 +1,121 @@
+"""Fleet arrival traces: determinism, streaming, and replay."""
+
+import itertools
+
+import pytest
+
+from repro.fleet import (ArrivalTrace, DiurnalTrace, FlashCrowdTrace,
+                         PoissonBurstTrace, PoissonTrace, load_trace,
+                         save_trace)
+
+
+def attrs(reqs):
+    return [(r.rid, r.arrival_s, r.prompt_tokens, r.max_new_tokens,
+             r.priority, r.prompt_hash) for r in reqs]
+
+
+TRACES = [
+    PoissonTrace(seed=7, n_requests=300, rate_rps=80),
+    PoissonBurstTrace(seed=7, n_requests=300, base_rps=20, burst_rps=200,
+                      period_s=5, burst_len_s=1),
+    DiurnalTrace(seed=7, n_requests=300, mean_rps=60, period_s=20),
+    FlashCrowdTrace(seed=7, n_requests=300, base_rps=30, flash_at_s=2,
+                    flash_len_s=2, flash_mult=6),
+]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("trace", TRACES,
+                             ids=lambda t: type(t).__name__)
+    def test_two_iterations_identical(self, trace):
+        assert attrs(trace) == attrs(trace)
+
+    def test_seed_changes_trace(self):
+        a = PoissonTrace(seed=1, n_requests=100, rate_rps=50)
+        b = PoissonTrace(seed=2, n_requests=100, rate_rps=50)
+        assert attrs(a) != attrs(b)
+
+    def test_longer_trace_extends_shorter(self):
+        short = PoissonTrace(seed=9, n_requests=100, rate_rps=50)
+        long = PoissonTrace(seed=9, n_requests=10_000, rate_rps=50)
+        assert attrs(short) == attrs(itertools.islice(iter(long), 100))
+
+
+class TestStreaming:
+    def test_arrivals_are_time_ordered(self):
+        for trace in TRACES:
+            times = [r.arrival_s for r in trace]
+            assert times == sorted(times)
+            assert times[0] >= 0.0
+
+    def test_rids_dense_from_base(self):
+        trace = PoissonTrace(seed=3, n_requests=50, base_rid=1000)
+        assert [r.rid for r in trace] == list(range(1000, 1050))
+
+    def test_large_trace_streams_lazily(self):
+        # 10^5 requests: take the head without materialising the rest
+        trace = PoissonTrace(seed=5, n_requests=100_000, rate_rps=500)
+        head = list(itertools.islice(iter(trace), 200))
+        assert len(head) == 200
+        assert attrs(head) == attrs(trace.generate(200))
+
+    def test_attribute_bounds(self):
+        trace = FlashCrowdTrace(seed=13, n_requests=500, min_prompt=32,
+                                max_prompt=256, max_new_tokens=64,
+                                n_classes=3, n_prefix_groups=8)
+        for r in trace:
+            assert 32 <= r.prompt_tokens <= 256
+            assert 1 <= r.max_new_tokens <= 64
+            assert 0 <= r.priority < 3
+            assert 0 <= r.prompt_hash < 8
+
+    def test_rate_shapes(self):
+        flash = FlashCrowdTrace(base_rps=10, flash_at_s=5, flash_len_s=2,
+                                flash_mult=4)
+        assert flash.rate(1.0) == 10
+        assert flash.rate(6.0) == 40
+        assert flash.rate(7.5) == 10
+        burst = PoissonBurstTrace(base_rps=5, burst_rps=50, period_s=10,
+                                  burst_len_s=2)
+        assert burst.rate(0.5) == 50 and burst.rate(3.0) == 5
+        diurnal = DiurnalTrace(mean_rps=100, amplitude=0.5, period_s=40)
+        assert diurnal.peak_rate == pytest.approx(150.0)
+        assert diurnal.rate(0.0) == pytest.approx(100.0)
+
+
+class TestValidation:
+    def test_base_class_needs_rate(self):
+        with pytest.raises(NotImplementedError):
+            ArrivalTrace().rate(0.0)
+
+    def test_nonpositive_n_requests(self):
+        with pytest.raises(ValueError, match="n_requests"):
+            next(iter(PoissonTrace(n_requests=0)))
+
+    def test_nonpositive_peak(self):
+        with pytest.raises(ValueError, match="peak_rate"):
+            next(iter(PoissonTrace(rate_rps=0.0)))
+
+    def test_rate_above_peak_rejected(self):
+        class Lying(PoissonTrace):
+            def rate(self, t):
+                return self.rate_rps * 2
+        with pytest.raises(ValueError, match="outside"):
+            next(iter(Lying(rate_rps=10)))
+
+
+class TestReplay:
+    def test_roundtrip(self, tmp_path):
+        trace = FlashCrowdTrace(seed=21, n_requests=200, n_classes=2,
+                                n_prefix_groups=4)
+        path = str(tmp_path / "trace.jsonl")
+        n = save_trace(path, trace)
+        assert n == 200
+        assert attrs(load_trace(path)) == attrs(trace)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = str(tmp_path / "bogus.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"format": "something-else"}\n')
+        with pytest.raises(ValueError, match="not a fleet trace"):
+            next(load_trace(path))

@@ -2,9 +2,10 @@
 
 import pytest
 
-from repro.platform import (ADL, ALL_PLATFORMS, GVT3, SPR, SPR_1S, ZEN4,
-                            CacheLevel, CoreCluster, MachineModel,
-                            platform_by_name, restrict_cores)
+from repro.platform import (ADL, ALL_PLATFORMS, CLUSTER_PRESETS, GVT3,
+                            SPR, SPR_1S, ZEN4, CacheLevel, CoreCluster,
+                            MachineModel, cluster_preset, platform_by_name,
+                            restrict_cores)
 from repro.tpp.backend.isa import ISA
 from repro.tpp.dtypes import DType
 
@@ -107,3 +108,64 @@ class TestValidation:
     def test_dram_bytes_per_cycle(self):
         m = SPR
         assert m.dram_bw_bytes_per_cycle() == pytest.approx(614.0 / 2.0)
+
+
+class TestServingHeterogeneity:
+    """Every preset must expose the fields the serving and fleet layers
+    consume: a KV pool sizes itself from ``dram_capacity_gbytes``, and
+    an op cost model defaults its ``num_threads`` to ``total_cores``."""
+
+    TINY = None   # built lazily: importing workloads here is deliberate
+
+    @classmethod
+    def _tiny(cls):
+        if cls.TINY is None:
+            from repro.workloads import LlmConfig
+            cls.TINY = LlmConfig("tiny", layers=2, hidden=128, heads=4,
+                                 intermediate=512, vocab=1024)
+        return cls.TINY
+
+    @pytest.mark.parametrize("name", sorted(ALL_PLATFORMS))
+    def test_dram_capacity_positive(self, name):
+        m = ALL_PLATFORMS[name]
+        assert m.dram_capacity_gbytes > 0
+        assert m.dram_bw_gbytes > 0
+        assert m.total_cores > 0
+
+    @pytest.mark.parametrize("name", sorted(ALL_PLATFORMS))
+    def test_paged_kv_pool_sizes_from_dram(self, name):
+        from repro.serve import PagedKvPool
+        m = ALL_PLATFORMS[name]
+        pool = PagedKvPool(self._tiny(), m, DType.F32, block_tokens=16,
+                           mem_fraction=0.5)
+        assert pool.total_blocks > 0
+
+    @pytest.mark.parametrize("name", sorted(ALL_PLATFORMS))
+    def test_op_cost_model_threads_default_to_cores(self, name):
+        from repro.workloads.opsim import OpCostModel
+        m = ALL_PLATFORMS[name]
+        cost = OpCostModel(m)
+        assert cost.num_threads == m.total_cores
+
+    def test_kv_budgets_differ_across_hetero4(self):
+        from repro.serve import PagedKvPool
+        blocks = [PagedKvPool(self._tiny(), m, DType.F32, block_tokens=16,
+                              mem_fraction=0.5).total_blocks
+                  for m in cluster_preset("hetero4")]
+        assert len(set(blocks)) > 1   # heterogeneity is real
+
+
+class TestClusterPresets:
+    def test_every_cluster_uses_known_platforms(self):
+        for name, machines in CLUSTER_PRESETS.items():
+            assert len(machines) >= 2, name
+            for m in machines:
+                assert ALL_PLATFORMS[m.name] is m
+
+    def test_hetero4_lineup(self):
+        assert tuple(m.name for m in cluster_preset("hetero4")) \
+            == ("SPR", "GVT3", "Zen4", "SPR-1S")
+
+    def test_unknown_cluster(self):
+        with pytest.raises(KeyError, match="unknown cluster"):
+            cluster_preset("nope")

@@ -22,12 +22,25 @@ import os
 import tempfile
 import threading
 import time
+import warnings
 
 from ..obs.context import current as _obs
 from .codegen import GeneratedNest, compile_nest, compile_source
 from .plan import LoopNestPlan
 
-__all__ = ["NestCache", "global_nest_cache"]
+__all__ = ["NestCache", "global_nest_cache", "quarantine_corrupt"]
+
+
+def quarantine_corrupt(path: str) -> str:
+    """Move a corrupt persisted-cache file out of the way.
+
+    Renames *path* to ``<path>.corrupt`` (overwriting any previous
+    quarantine of the same file) so the next run starts from an empty
+    cache instead of tripping over the same bad bytes, while keeping
+    the evidence around for diagnosis."""
+    quarantined = path + ".corrupt"
+    os.replace(path, quarantined)
+    return quarantined
 
 
 class NestCache:
@@ -109,9 +122,24 @@ class NestCache:
         return path
 
     def load(self, path: str) -> int:
-        """Merge persisted sources from *path*; returns how many."""
-        with open(path) as fh:
-            loaded = json.load(fh)
+        """Merge persisted sources from *path*; returns how many.
+
+        A corrupt file (truncated write, bad JSON, or a payload that is
+        not the expected ``{key: source}`` dict) is *quarantined* —
+        renamed to ``<path>.corrupt`` with a warning — and the cache
+        starts empty instead of crashing the run."""
+        try:
+            with open(path) as fh:
+                loaded = json.load(fh)
+            if not isinstance(loaded, dict):
+                raise ValueError(
+                    f"expected a JSON object, got {type(loaded).__name__}")
+        except (json.JSONDecodeError, ValueError, UnicodeDecodeError) as exc:
+            quarantined = quarantine_corrupt(path)
+            warnings.warn(
+                f"nest cache at {path} is corrupt ({exc}); moved to "
+                f"{quarantined} and starting empty", stacklevel=2)
+            return 0
         with self._lock:
             self._sources.update(loaded)
         return len(loaded)

@@ -12,14 +12,29 @@ active set with hysteresis.  Replica deaths evacuate and re-route all
 in-flight work; :func:`repro.resilience.check_fleet_invariants` proves
 no request is ever lost.  Everything is seeded: two runs of the same
 fleet are bit-identical, scale events and failovers included.
+
+Gray failures — replicas that are slow, flaky, or alive-but-unreachable
+— are handled by the observed-health layer: a phi-accrual
+:class:`~repro.fleet.health.HealthMonitor` turns seeded probe rounds
+into suspicion levels and stale :class:`~repro.fleet.health.\
+ObservedReplica` views (all routers consume those instead of live state
+when a guard is on), and :class:`~repro.fleet.guard.FleetGuard` adds
+per-replica circuit breakers, quantile-delayed hedged requests with
+first-completion-wins semantics, and a fleet-wide token-bucket retry
+budget.  Enable with ``FleetSimulator(..., guard="default")`` or a
+custom :class:`~repro.fleet.guard.GuardPolicy`.
 """
 
 from .autoscale import AutoscalePolicy, Autoscaler, FleetGauges
 from .cluster import (FleetReport, FleetSimulator, FleetSummary, Replica,
                       ReplicaState)
-from .router import (LeastKvLoadedRouter, PrefixAffinityRouter, ROUTERS,
-                     RoundRobinRouter, Router, SloStickyRouter,
-                     make_router)
+from .guard import (BreakerPolicy, CircuitBreaker, FleetGuard,
+                    GUARD_PRESETS, GuardPolicy, HedgePolicy, HedgeRecord,
+                    RetryBudget, RetryBudgetPolicy, make_guard_policy)
+from .health import HealthMonitor, HealthPolicy, ObservedReplica
+from .router import (LeastKvLoadedRouter, LeastSuspectRouter,
+                     PrefixAffinityRouter, ROUTERS, RoundRobinRouter,
+                     Router, SloStickyRouter, make_router)
 from .traffic import (ArrivalTrace, DiurnalTrace, FlashCrowdTrace,
                       PoissonBurstTrace, PoissonTrace, TRACE_FORMAT,
                       load_trace, save_trace)
@@ -28,7 +43,12 @@ __all__ = [
     "FleetSimulator", "FleetReport", "FleetSummary", "Replica",
     "ReplicaState",
     "Router", "RoundRobinRouter", "LeastKvLoadedRouter",
-    "SloStickyRouter", "PrefixAffinityRouter", "ROUTERS", "make_router",
+    "SloStickyRouter", "PrefixAffinityRouter", "LeastSuspectRouter",
+    "ROUTERS", "make_router",
+    "HealthPolicy", "HealthMonitor", "ObservedReplica",
+    "GuardPolicy", "BreakerPolicy", "HedgePolicy", "RetryBudgetPolicy",
+    "FleetGuard", "CircuitBreaker", "RetryBudget", "HedgeRecord",
+    "GUARD_PRESETS", "make_guard_policy",
     "AutoscalePolicy", "Autoscaler", "FleetGauges",
     "ArrivalTrace", "PoissonTrace", "PoissonBurstTrace", "DiurnalTrace",
     "FlashCrowdTrace", "save_trace", "load_trace", "TRACE_FORMAT",

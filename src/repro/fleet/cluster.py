@@ -10,14 +10,24 @@ lockstep: each loop iteration picks the globally earliest event among
 
 1. replica deaths and revivals (:class:`FleetFaultPlan`),
 2. warm-up completions of scaled-up replicas,
-3. autoscaler evaluation ticks,
-4. the next unrouted arrival (routed by the
-   :class:`~repro.fleet.router.Router` observing live replica state),
-5. the earliest replica able to make local progress,
+3. health-probe rounds (:class:`~repro.fleet.guard.FleetGuard`:
+   failure detection, breakers, hedges — only with ``guard=`` set),
+4. autoscaler evaluation ticks,
+5. the next unrouted arrival (routed by the
+   :class:`~repro.fleet.router.Router`),
+6. the earliest replica able to make local progress,
 
 with ties broken in exactly that order, then by replica id.  The loop
 is therefore a pure function of (trace seed, fault seed, policies) —
 two runs are bit-identical, including every failover and scale event.
+
+With a guard enabled the routers stop reading live replica state:
+candidates become :class:`~repro.fleet.health.ObservedReplica`
+probe-snapshot views (stale, and lying under partition faults), open
+circuit breakers drop replicas from the candidate set, stalled
+requests hedge to a second replica after a quantile-based delay, and
+every defense pays into one fleet-wide retry budget.  With
+``guard=None`` (the default) the loop is byte-identical to PR 6.
 
 Replica death evacuates all non-terminal work (KV lost, positions
 re-prefill elsewhere) and re-routes it at the death instant; the
@@ -42,6 +52,7 @@ from ..serve.request import RequestState
 from ..serve.server import ServeSimulator
 from ..tpp.dtypes import DType
 from .autoscale import Autoscaler, FleetGauges
+from .guard import FleetGuard, make_guard_policy
 from .router import make_router
 
 __all__ = ["ReplicaState", "Replica", "FleetSummary", "FleetReport",
@@ -51,9 +62,10 @@ __all__ = ["ReplicaState", "Replica", "FleetSummary", "FleetReport",
 _EV_DEATH = 0
 _EV_REVIVE = 1
 _EV_WARM = 2
-_EV_SCALE = 3
-_EV_ARRIVAL = 4
-_EV_ADVANCE = 5
+_EV_PROBE = 3
+_EV_SCALE = 4
+_EV_ARRIVAL = 5
+_EV_ADVANCE = 6
 
 
 class ReplicaState(enum.Enum):
@@ -138,6 +150,17 @@ class FleetSummary:
     e2e_p99_s: float
     mean_queue_depth: float
     peak_kv_occupancy: float
+    # -- defense accounting (repro.fleet.guard) ------------------------
+    #: hedge clones issued for stalled requests
+    n_hedges: int = 0
+    #: hedges whose clone delivered the winning completion
+    n_hedge_wins: int = 0
+    #: requests moved off suspected/breaker-open replicas
+    n_guard_retries: int = 0
+    #: circuit-breaker closed/half-open → open transitions
+    n_breaker_opens: int = 0
+    #: retry-budget tokens spent (== n_hedges + n_guard_retries)
+    retry_budget_spent: int = 0
 
     @property
     def n_terminal(self) -> int:
@@ -167,6 +190,8 @@ class FleetReport:
     events: tuple
     config_name: str
     router_name: str
+    #: every :class:`~repro.fleet.guard.HedgeRecord` of the run
+    hedges: tuple = ()
 
 
 class FleetSimulator:
@@ -182,14 +207,18 @@ class FleetSimulator:
     :class:`~repro.resilience.faults.FleetFaultPlan`; ``router`` a
     policy name or :class:`~repro.fleet.router.Router`; ``autoscale``
     an :class:`~repro.fleet.autoscale.AutoscalePolicy` (None disables
-    scaling)."""
+    scaling); ``guard`` a :class:`~repro.fleet.guard.GuardPolicy` or
+    preset name (``"default"``/``"hedge_only"``/``"paranoid"``)
+    enabling observed-health routing, circuit breakers, hedged
+    requests and the fleet-wide retry budget (None: the omniscient
+    loop of PR 6, byte-identical to before)."""
 
     def __init__(self, config, machines, router="round_robin",
                  autoscale=None, faults=None, resilience=None,
                  stack_name: str = "parlooper", dtype: DType = DType.BF16,
                  batcher=None, scheduler=None, block_tokens: int = 16,
                  mem_fraction: float = 0.9, obs=None,
-                 initial_replicas: int | None = None):
+                 initial_replicas: int | None = None, guard=None):
         machines = tuple(machines)
         if not machines:
             raise ServeConfigError(
@@ -197,6 +226,9 @@ class FleetSimulator:
         self.config = config
         self.machines = machines
         self.router = make_router(router)
+        #: None, a preset name ("default"/"hedge_only"/"paranoid") or a
+        #: GuardPolicy — enables the observed-health defense layer
+        self.guard_policy = make_guard_policy(guard)
         self.autoscale_policy = autoscale
         self.faults = faults
         self.resilience = resilience
@@ -220,6 +252,9 @@ class FleetSimulator:
         # revive re-prices nothing)
         self._costs: dict = {}
         self.replicas: list = []
+        #: the FleetGuard of the last run (None: undefended) — the
+        #: chaos harness audits its breakers/budget/hedge records
+        self._defense: FleetGuard | None = None
 
     # -- replica lifecycle ----------------------------------------------
     def _cost_for(self, machine) -> ServeCostModel:
@@ -229,7 +264,8 @@ class FleetSimulator:
                 self.config, machine, self.stack_name, self.dtype)
         return self._costs[key]
 
-    def _start_incarnation(self, replica, max_steps: int) -> None:
+    def _start_incarnation(self, replica, max_steps: int,
+                           now_s: float = 0.0) -> None:
         replica.sim = ServeSimulator(
             self.config, replica.machine, stack_name=self.stack_name,
             dtype=self.dtype, batcher=self.batcher,
@@ -242,6 +278,8 @@ class FleetSimulator:
             obs=self._obs, replica_id=replica.id)
         replica.sim.begin(max_steps=max_steps)
         replica.state = ReplicaState.ACTIVE
+        if self._defense is not None:
+            self._defense.activate(replica.id, now_s)
 
     # -- the fleet event loop -------------------------------------------
     def run(self, trace, max_steps: int = 1_000_000,
@@ -254,6 +292,10 @@ class FleetSimulator:
         mirror = obs.metrics.enabled
         tracing = obs.tracer.enabled
         self.router.reset()
+        guard = (FleetGuard(self.guard_policy, faults=self.faults,
+                            obs=obs)
+                 if self.guard_policy is not None else None)
+        self._defense = guard
         scaler = Autoscaler(self.autoscale_policy) \
             if self.autoscale_policy is not None else None
         self.replicas = [
@@ -277,6 +319,8 @@ class FleetSimulator:
         peak_active = self.initial_replicas
         next_tick = (scaler.policy.interval_s
                      if scaler is not None else None)
+        next_probe = (guard.policy.health.probe_interval_s
+                      if guard is not None else None)
         last_goodput = 0
         stale_ticks = 0             # consecutive no-op autoscale ticks
 
@@ -310,17 +354,37 @@ class FleetSimulator:
                           if r.state is ReplicaState.ACTIVE]
             if not candidates:
                 pending.append(req)
+                if guard is not None:
+                    guard.on_pending(req)
                 return
-            target = self.router.route(req, candidates, clock)
+            if guard is not None:
+                # routers see observed (probe-snapshot) views only,
+                # breaker-filtered; the view maps back to its replica
+                views = guard.route_candidates(candidates, clock)
+                target = self.router.route(req, views, clock).replica
+            else:
+                target = self.router.route(req, candidates, clock)
             target.sim.sync_clock(clock)
             target.sim.push(req)
             target.n_routed += 1
             self._routed_counts[target.id] += 1
+            if guard is not None:
+                guard.on_dispatch(req, target.id, clock)
             if failover:
                 n_failovers += 1
             if mirror:
                 obs.inc("fleet_requests",
                         event="failover" if failover else "routed",
+                        replica=str(target.id))
+
+        def guard_dispatch(target, req, kind):
+            """Push hook the guard uses for hedges and retry moves."""
+            target.sim.sync_clock(clock)
+            target.sim.push(req)
+            target.n_routed += 1
+            self._routed_counts[target.id] += 1
+            if mirror:
+                obs.inc("fleet_requests", event=kind,
                         replica=str(target.id))
 
         def drain_pending():
@@ -358,11 +422,16 @@ class FleetSimulator:
                 break
             if scaler is not None and next_tick is not None:
                 events.append((next_tick, _EV_SCALE, -1))
+            if guard is not None and (busy or nxt is not None):
+                # probe rounds only while the fleet has (or expects)
+                # work: probes observe progress, they must not
+                # manufacture it — pending-only states still terminate
+                events.append((next_probe, _EV_PROBE, -1))
             if not events:
                 break               # pending can never route again
             t, prio, idx = min(events)
             clock = max(clock, t)
-            if prio != _EV_SCALE:
+            if prio not in (_EV_SCALE, _EV_PROBE):
                 stale_ticks = 0
 
             if prio == _EV_DEATH:
@@ -377,6 +446,11 @@ class FleetSimulator:
                     mark("replica_death", idx)
                     if mirror:
                         obs.inc("fleet_faults", kind="replica_death")
+                    if guard is not None:
+                        # uncommitted hedge clones die with the
+                        # replica; everything else fails over
+                        moved = guard.on_death_evacuated(idx, moved,
+                                                         clock)
                     for req in moved:
                         route(req, failover=True)
                 elif r.state is not ReplicaState.DEAD:
@@ -387,14 +461,17 @@ class FleetSimulator:
                 death_i += 1
                 r = self.replicas[idx]
                 if r.state is ReplicaState.DEAD:
-                    self._start_incarnation(r, max_steps)
+                    self._start_incarnation(r, max_steps, now_s=clock)
                     mark("replica_revive", idx)
                     drain_pending()
             elif prio == _EV_WARM:
                 r = self.replicas[idx]
-                self._start_incarnation(r, max_steps)
+                self._start_incarnation(r, max_steps, now_s=clock)
                 mark("replica_warm", idx)
                 drain_pending()
+            elif prio == _EV_PROBE:
+                next_probe = clock + guard.policy.health.probe_interval_s
+                guard.probe_tick(clock, self.replicas, guard_dispatch)
             elif prio == _EV_SCALE:
                 next_tick = clock + scaler.policy.interval_s
                 active = [r for r in self.replicas
@@ -462,6 +539,10 @@ class FleetSimulator:
             else:                   # _EV_ADVANCE
                 r = self.replicas[idx]
                 r.sim.advance()
+                if guard is not None:
+                    # settle any hedge race this step may have decided
+                    # before any other replica moves
+                    guard.after_advance(r, clock, self.replicas)
                 if r.state is ReplicaState.DRAINING \
                         and r.sim.next_time() is None:
                     r.reports.append(r.sim.finish())
@@ -474,6 +555,10 @@ class FleetSimulator:
             req.state = RequestState.REJECTED
             n_unroutable += 1
         pending.clear()
+        if guard is not None:
+            # after pending is settled so a pending clone's REJECTED
+            # can be mirrored onto its withdrawn primary
+            guard.finalize(clock)
         for r in self.replicas:
             if r.sim is not None:
                 r.reports.append(r.sim.finish())
@@ -489,7 +574,7 @@ class FleetSimulator:
             reports, makespan, n_injected=len(seen_rids),
             n_failovers=n_failovers, n_deaths=n_deaths, n_ups=n_ups,
             n_downs=n_downs, n_unroutable=n_unroutable,
-            peak_active=peak_active)
+            peak_active=peak_active, guard=guard)
         if tracing:
             obs.tracer.complete("fleet_run", 0.0, makespan, track="fleet",
                                 replicas=len(self.replicas),
@@ -503,13 +588,20 @@ class FleetSimulator:
             routed_counts=dict(self._routed_counts),
             events=tuple(events_log),
             config_name=self.config.name,
-            router_name=self.router.name)
+            router_name=self.router.name,
+            hedges=(tuple(guard.hedge_records)
+                    if guard is not None else ()))
 
     def _summarize(self, reports, makespan, *, n_injected, n_failovers,
                    n_deaths, n_ups, n_downs, n_unroutable,
-                   peak_active) -> FleetSummary:
+                   peak_active, guard=None) -> FleetSummary:
         def total(attr):
             return sum(getattr(rep.summary, attr) for rep in reports)
+
+        # a hedge loser that reached a terminal before its withdrawal
+        # was counted by its replica, but the injected request it
+        # duplicates is counted elsewhere — subtract it exactly once
+        disc = guard.discounts if guard is not None else {}
 
         ttfts, tpots, e2es, queues = [], [], [], []
         for rep in reports:
@@ -528,11 +620,11 @@ class FleetSimulator:
             n_scale_ups=n_ups,
             n_scale_downs=n_downs,
             n_unroutable=n_unroutable,
-            n_finished=total("n_finished"),
-            n_rejected=total("n_rejected"),
-            n_timed_out=total("n_timed_out"),
-            n_cancelled=total("n_cancelled"),
-            n_shed=total("n_shed"),
+            n_finished=total("n_finished") - disc.get("finished", 0),
+            n_rejected=total("n_rejected") - disc.get("rejected", 0),
+            n_timed_out=total("n_timed_out") - disc.get("timed-out", 0),
+            n_cancelled=total("n_cancelled") - disc.get("cancelled", 0),
+            n_shed=total("n_shed") - disc.get("shed", 0),
             makespan_s=makespan,
             generated_tokens=generated,
             tokens_per_s=(generated / makespan if makespan > 0 else 0.0),
@@ -549,4 +641,12 @@ class FleetSimulator:
                               if queues else 0.0),
             peak_kv_occupancy=max(
                 (rep.summary.peak_kv_occupancy for rep in reports),
-                default=0.0))
+                default=0.0),
+            n_hedges=guard.n_hedges if guard is not None else 0,
+            n_hedge_wins=guard.n_hedge_wins if guard is not None else 0,
+            n_guard_retries=(guard.n_guard_retries
+                             if guard is not None else 0),
+            n_breaker_opens=(guard.n_breaker_opens
+                             if guard is not None else 0),
+            retry_budget_spent=(guard.budget.spent
+                                if guard is not None else 0))

@@ -20,7 +20,16 @@ Policies:
   another class's KV working set;
 * ``prefix_affinity`` — hash ``Request.prompt_hash`` onto the
   candidate list, so same-prefix requests land where their prefix KV
-  already lives.
+  already lives;
+* ``least_suspect`` — lowest failure-detector suspicion first, load
+  signals break ties.  Only meaningful under a fleet guard
+  (``FleetSimulator(guard=...)``), where candidates are
+  :class:`~repro.fleet.health.ObservedReplica` views carrying a
+  ``suspicion`` level; without one every suspicion reads 0.0 and it
+  degrades to ``least_kv_loaded``.
+
+With a guard enabled, *every* router sees observed probe-snapshot
+views instead of live replicas — same attributes, staler truth.
 """
 
 from __future__ import annotations
@@ -28,8 +37,8 @@ from __future__ import annotations
 from typing import Protocol, runtime_checkable
 
 __all__ = ["Router", "RoundRobinRouter", "LeastKvLoadedRouter",
-           "SloStickyRouter", "PrefixAffinityRouter", "ROUTERS",
-           "make_router"]
+           "SloStickyRouter", "PrefixAffinityRouter",
+           "LeastSuspectRouter", "ROUTERS", "make_router"]
 
 
 @runtime_checkable
@@ -120,11 +129,29 @@ class PrefixAffinityRouter:
         return candidates[key % len(candidates)]
 
 
+class LeastSuspectRouter:
+    """Prefer the replica the failure detector trusts most; among
+    equally-trusted replicas, least KV-loaded wins.  ``suspicion`` is
+    read via ``getattr`` so the router also runs (as least-kv-loaded)
+    on live replicas outside a guarded fleet."""
+
+    name = "least_suspect"
+
+    def reset(self) -> None:
+        pass
+
+    def route(self, req, candidates, now: float):
+        return min(candidates,
+                   key=lambda r: (getattr(r, "suspicion", 0.0),
+                                  r.kv_load, r.in_flight, r.id))
+
+
 ROUTERS = {
     "round_robin": RoundRobinRouter,
     "least_kv_loaded": LeastKvLoadedRouter,
     "slo_sticky": SloStickyRouter,
     "prefix_affinity": PrefixAffinityRouter,
+    "least_suspect": LeastSuspectRouter,
 }
 
 

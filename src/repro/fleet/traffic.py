@@ -271,19 +271,46 @@ def save_trace(path: str, requests) -> int:
 
 
 def load_trace(path: str):
-    """Stream :class:`Request`\\ s back from a :func:`save_trace` file."""
+    """Stream :class:`Request`\\ s back from a :func:`save_trace` file.
+
+    Malformed input raises :class:`ValueError` naming the exact spot —
+    ``path:lineno`` plus a prefix of the offending line — instead of a
+    bare ``JSONDecodeError`` with no file context.  Duplicate request
+    ids are rejected the same way: a trace that repeats a rid would
+    silently break fleet conservation accounting downstream."""
+    def _bad(lineno, line, why):
+        prefix = line if len(line) <= 80 else line[:77] + "..."
+        return ValueError(
+            f"{path}:{lineno}: {why} (line starts {prefix!r})")
+
     with open(path) as fh:
-        header = json.loads(fh.readline())
-        if header.get("format") != TRACE_FORMAT:
+        first = fh.readline()
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise _bad(1, first.strip(), f"bad trace header: {exc}") \
+                from exc
+        if not isinstance(header, dict) \
+                or header.get("format") != TRACE_FORMAT:
             raise ValueError(
                 f"{path}: not a fleet trace file (header {header!r}, "
                 f"expected format {TRACE_FORMAT!r})")
-        for line in fh:
+        seen_rids = set()
+        for lineno, line in enumerate(fh, start=2):
             line = line.strip()
             if not line:
                 continue
-            rec = json.loads(line)
-            yield Request(rid=rec["rid"], arrival_s=rec["arrival_s"],
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise _bad(lineno, line, f"bad trace record: {exc}") \
+                    from exc
+            rid = rec["rid"]
+            if rid in seen_rids:
+                raise _bad(lineno, line,
+                           f"duplicate request id {rid} in trace")
+            seen_rids.add(rid)
+            yield Request(rid=rid, arrival_s=rec["arrival_s"],
                           prompt_tokens=rec["prompt_tokens"],
                           max_new_tokens=rec["max_new_tokens"],
                           priority=rec.get("priority", 0),

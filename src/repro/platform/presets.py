@@ -210,6 +210,9 @@ def restrict_cores(machine: MachineModel, cores: int) -> MachineModel:
 CLUSTER_PRESETS = {
     # four identical big sockets — the homogeneous baseline
     "homo4": (SPR, SPR, SPR, SPR),
+    # six identical sockets — the gray-failure/hedging testbed, where
+    # any TTFT skew is attributable to injected faults alone
+    "homo6": (SPR, SPR, SPR, SPR, SPR, SPR),
     # the heterogeneity workhorse: two ISAs, three DRAM sizes
     "hetero4": (SPR, GVT3, ZEN4, SPR_1S),
     # hetero4 plus a spare pair the autoscaler may warm

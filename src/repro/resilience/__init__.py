@@ -6,7 +6,12 @@ analytical models; `repro.resilience` extends that discipline to
 
 * :mod:`~repro.resilience.faults` — :class:`FaultPlan`, a seeded fault
   environment (stragglers, KV capacity loss, transient step failures,
-  client cancellations) shared by hardened and unhardened runs;
+  client cancellations) shared by hardened and unhardened runs, and
+  :class:`FleetFaultPlan` adding replica deaths plus *gray* fleet
+  faults (``slowdown``/``flaky``/``partition``
+  :class:`ReplicaFault` kinds and seeded probe loss) that the
+  observed-health layer in :mod:`repro.fleet` must detect from
+  probes alone;
 * :mod:`~repro.resilience.policies` — :class:`ResilienceConfig`, the
   recovery responses only the hardened
   :class:`~repro.serve.server.ServeSimulator` gets (deadlines + timeout
@@ -24,14 +29,14 @@ by :class:`~repro.serve.metrics.ServeSummary` next to raw throughput.
 from .chaos import (ChaosOutcome, chaos_sweep, chaos_trial,
                     check_fleet_invariants, check_invariants,
                     fleet_chaos_trial)
-from .faults import (FaultPlan, FaultWindow, FleetFaultPlan, ReplicaFault,
-                     hash01)
+from .faults import (FaultPlan, FaultWindow, FleetFaultPlan,
+                     REPLICA_FAULT_KINDS, ReplicaFault, hash01)
 from .policies import (DegradePolicy, ResilienceConfig, RetryPolicy,
                        stamp_deadlines)
 
 __all__ = [
     "FaultPlan", "FaultWindow", "hash01",
-    "ReplicaFault", "FleetFaultPlan",
+    "ReplicaFault", "FleetFaultPlan", "REPLICA_FAULT_KINDS",
     "RetryPolicy", "DegradePolicy", "ResilienceConfig", "stamp_deadlines",
     "ChaosOutcome", "check_invariants", "chaos_trial", "chaos_sweep",
     "check_fleet_invariants", "fleet_chaos_trial",

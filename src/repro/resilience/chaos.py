@@ -102,7 +102,17 @@ def check_fleet_invariants(fleet, report) -> list:
     pool leak freedom) a fleet must conserve requests *across
     failover*: every injected request reaches exactly one terminal
     state somewhere, and every replica accounts for all work it was
-    routed (``n_terminal + n_failed_over == n_submitted``)."""
+    routed (``n_terminal + n_failed_over == n_submitted``).
+
+    A *defended* fleet (``guard=`` set) is audited further:
+
+    * **no duplicate completion** — no hedge pair may count both its
+      primary and its clone as FINISHED;
+    * **retries bounded by budget** — hedges + guard retries equal the
+      tokens spent, and spending never exceeds what the token bucket
+      could have issued over the makespan;
+    * **breaker legality** — every logged breaker edge is one of
+      closed→open, open→half-open, half-open→closed, half-open→open."""
     errs = []
     s = report.summary
     if s.n_terminal != s.n_injected:
@@ -140,6 +150,39 @@ def check_fleet_invariants(fleet, report) -> list:
                 and req.finish_s < req.token_times[-1]:
             errs.append(f"request {req.rid}: finish_s precedes its last "
                         f"token timestamp")
+
+    # -- defense-layer invariants (guarded fleets only) ----------------
+    guard = getattr(fleet, "_defense", None)
+    for rec in getattr(report, "hedges", ()):
+        if rec.duplicate:
+            errs.append(
+                f"duplicate completion: request {rec.rid} finished on "
+                f"replica {rec.from_replica} and its hedge clone "
+                f"{rec.clone_rid} on replica {rec.to_replica}")
+        if rec.winner is None or rec.clone_state is None:
+            errs.append(
+                f"hedge of request {rec.rid} never resolved "
+                f"(winner={rec.winner!r}, clone={rec.clone_state!r})")
+    if guard is not None:
+        spent = guard.budget.spent
+        if spent != s.n_hedges + s.n_guard_retries:
+            errs.append(
+                f"retry budget accounting broken: {spent} tokens spent "
+                f"!= {s.n_hedges} hedges + {s.n_guard_retries} guard "
+                f"retries")
+        bp = guard.budget.policy
+        ceiling = bp.capacity + bp.refill_per_s * s.makespan_s
+        if spent > ceiling + 1e-9:
+            errs.append(
+                f"retry budget exceeded: {spent} tokens spent > "
+                f"{ceiling:.1f} issuable (capacity {bp.capacity}, "
+                f"refill {bp.refill_per_s}/s over {s.makespan_s:.1f} s)")
+        from ..fleet.guard import LEGAL_BREAKER_TRANSITIONS
+        for rid, t, frm, to in guard.transitions():
+            if (frm, to) not in LEGAL_BREAKER_TRANSITIONS:
+                errs.append(
+                    f"illegal breaker transition on replica {rid}: "
+                    f"{frm} -> {to} at t={t:.3f}")
     return errs
 
 

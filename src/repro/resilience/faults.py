@@ -21,6 +21,20 @@ Fault kinds:
 * **client cancellations** — a request whose client gives up
   ``patience`` seconds after arrival; work finished later is wasted.
 
+Fleet-level faults (:class:`ReplicaFault` inside a
+:class:`FleetFaultPlan`) extend the same discipline to whole replicas.
+Beyond clean ``death``/revival, the *gray* kinds model replicas that
+are sick without being dead — the failures only an observed-health
+layer (`repro.fleet.health` / `repro.fleet.guard`) can defend against:
+
+* ``slowdown`` — every serving step on the replica costs ``value``
+  times its modelled time during ``[at_s, until_s)`` (a straggler);
+* ``flaky`` — each step loses its work with probability ``value``
+  during the window (time still consumed);
+* ``partition`` — the replica keeps serving, but its health probes are
+  dropped during the window: detectors see it as dead while its
+  in-flight work completes fine.
+
 The plan is *environment*, not policy: the same plan is handed to both
 the unhardened and the hardened simulator, and only the latter carries
 recovery policies (`repro.resilience.policies`).
@@ -34,7 +48,7 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = ["hash01", "FaultWindow", "FaultPlan", "ReplicaFault",
-           "FleetFaultPlan"]
+           "FleetFaultPlan", "REPLICA_FAULT_KINDS"]
 
 # stream tags keeping the per-purpose hash streams independent
 _TAG_FAIL = 11
@@ -43,6 +57,11 @@ _TAG_CANCEL_FRAC = 17
 _TAG_SAMPLE = 23
 _TAG_DEATH = 31
 _TAG_PLAN_SEED = 37
+_TAG_PROBE = 41
+_TAG_GRAY = 43
+
+#: valid :class:`ReplicaFault` kinds ("death" is the clean one)
+REPLICA_FAULT_KINDS = ("death", "slowdown", "flaky", "partition")
 
 
 def hash01(*key: int) -> float:
@@ -76,6 +95,9 @@ class FaultPlan:
     straggler_windows: tuple = ()
     #: windows removing a fraction of KV-pool blocks (values in [0, 1))
     capacity_windows: tuple = ()
+    #: windows during which steps fail with probability ``value`` —
+    #: windowed flakiness on top of the flat ``p_step_fail`` floor
+    flaky_windows: tuple = ()
     #: per-step probability the step's work is lost
     p_step_fail: float = 0.0
     #: per-request probability the client cancels before completion
@@ -100,11 +122,20 @@ class FaultPlan:
                 frac = max(frac, w.value)
         return min(0.99, max(0.0, frac))
 
-    def step_fails(self, step_index: int) -> bool:
-        """Does serving step *step_index* lose its work?"""
-        if self.p_step_fail <= 0.0:
+    def step_fails(self, step_index: int,
+                   now_s: float | None = None) -> bool:
+        """Does serving step *step_index* lose its work?  With *now_s*,
+        windowed flakiness raises the failure probability inside its
+        windows; the draw itself stays keyed on the step index alone, so
+        the same step replays identically whenever it is priced."""
+        p = self.p_step_fail
+        if now_s is not None:
+            for w in self.flaky_windows:
+                if w.active(now_s):
+                    p = max(p, w.value)
+        if p <= 0.0:
             return False
-        return hash01(self.seed, _TAG_FAIL, step_index) < self.p_step_fail
+        return hash01(self.seed, _TAG_FAIL, step_index) < p
 
     def cancel_s(self, request) -> float | None:
         """Absolute time the client of *request* hangs up, or None."""
@@ -122,7 +153,8 @@ class FaultPlan:
         A blocked simulator can advance its clock here: capacity lost
         now may return at the window's end, so a pool-full stall is not
         yet a deadlock."""
-        edges = [t for w in (*self.straggler_windows, *self.capacity_windows)
+        edges = [t for w in (*self.straggler_windows,
+                             *self.capacity_windows, *self.flaky_windows)
                  for t in (w.start_s, w.end_s)
                  if math.isfinite(t) and t > now_s]
         return min(edges) if edges else None
@@ -173,13 +205,52 @@ class FaultPlan:
 
 @dataclass(frozen=True)
 class ReplicaFault:
-    """One whole-replica failure: the replica dies at ``at_s`` (its
-    in-flight work is evacuated and failed over by the fleet router)
-    and, if ``revive_s`` is set, comes back empty at that time."""
+    """One whole-replica failure.
+
+    ``kind="death"`` (the default) is the clean mode: the replica dies
+    at ``at_s`` (its in-flight work is evacuated and failed over by the
+    fleet router) and, if ``revive_s`` is set, comes back empty at that
+    time.  The *gray* kinds sicken the replica over ``[at_s, until_s)``
+    without killing it:
+
+    * ``"slowdown"`` — steps cost ``value`` (>= 1) times their modelled
+      time;
+    * ``"flaky"`` — each step loses its work with probability ``value``;
+    * ``"partition"`` — health probes are dropped (the replica still
+      serves; only observers think it is gone).
+    """
 
     replica: int
     at_s: float
     revive_s: float | None = None
+    kind: str = "death"
+    #: end of a gray fault's window (None: open-ended)
+    until_s: float | None = None
+    #: slowdown multiplier / flaky per-step failure probability
+    value: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in REPLICA_FAULT_KINDS:
+            raise ValueError(
+                f"unknown ReplicaFault kind {self.kind!r}; valid: "
+                f"{REPLICA_FAULT_KINDS}")
+        if self.kind == "slowdown" and self.value < 1.0:
+            raise ValueError(
+                f"slowdown value must be >= 1, got {self.value!r}")
+        if self.kind == "flaky" and not 0.0 <= self.value <= 1.0:
+            raise ValueError(
+                f"flaky value must be a probability, got {self.value!r}")
+
+    @property
+    def gray(self) -> bool:
+        return self.kind != "death"
+
+    def window(self) -> FaultWindow:
+        """The gray fault as a :class:`FaultWindow` (death has none)."""
+        if not self.gray:
+            raise ValueError("a death is not a windowed fault")
+        end = self.until_s if self.until_s is not None else math.inf
+        return FaultWindow(self.at_s, end, self.value)
 
 
 @dataclass(frozen=True)
@@ -189,28 +260,80 @@ class FleetFaultPlan:
     Composes per-replica :class:`FaultPlan`\\ s (stragglers, capacity
     dips, step failures, client cancels — index-aligned with the fleet's
     replica slots; missing entries mean a clean replica) with
-    fleet-level :class:`ReplicaFault` death/revival events that only a
-    multi-replica simulation can express."""
+    fleet-level :class:`ReplicaFault`\\ s that only a multi-replica
+    simulation can express: clean deaths/revivals in ``deaths`` and the
+    gray kinds (slowdown / flaky / partition) in ``grays``.  Slowdown
+    and flaky faults are folded into the per-replica fault plan
+    (:meth:`plan_for`), so the serving loop prices them exactly like
+    seeded stragglers; partitions only touch :meth:`partitioned`, the
+    query health probes consult.  ``p_probe_loss`` adds seeded random
+    heartbeat loss on top (counter-keyed on the probe index, so every
+    dropped probe replays from the seed)."""
 
     seed: int = 0
     deaths: tuple = ()
+    #: gray ReplicaFaults (kind != "death"); deaths listed here work too
+    grays: tuple = ()
     #: per-replica FaultPlans, index-aligned; shorter tuples leave the
     #: remaining replicas fault-free
     plans: tuple = ()
+    #: probability any single health probe is lost in flight (gray
+    #: noise even on healthy replicas)
+    p_probe_loss: float = 0.0
+
+    def _faults(self):
+        return (*self.deaths, *self.grays)
+
+    def _gray_windows(self, replica: int, kind: str) -> tuple:
+        return tuple(f.window() for f in self._faults()
+                     if f.kind == kind and f.replica == replica)
 
     def plan_for(self, replica: int):
-        """The per-replica :class:`FaultPlan` (None: clean replica)."""
-        return self.plans[replica] if replica < len(self.plans) else None
+        """The per-replica :class:`FaultPlan` (None: clean replica),
+        with this fleet's gray slowdown/flaky windows folded in."""
+        base = self.plans[replica] if replica < len(self.plans) else None
+        slow = self._gray_windows(replica, "slowdown")
+        flaky = self._gray_windows(replica, "flaky")
+        if not slow and not flaky:
+            return base
+        if base is None:
+            base = FaultPlan(seed=int(np.random.default_rng(
+                (self.seed, _TAG_GRAY, replica)).integers(2**31)))
+        return FaultPlan(
+            seed=base.seed,
+            straggler_windows=base.straggler_windows + slow,
+            capacity_windows=base.capacity_windows,
+            flaky_windows=base.flaky_windows + flaky,
+            p_step_fail=base.p_step_fail,
+            p_cancel=base.p_cancel,
+            cancel_patience_s=base.cancel_patience_s)
 
     def death_events(self) -> list:
         """All deaths and revivals as ``(t, kind, replica)`` tuples,
         time-sorted with deaths before revivals at equal times."""
         events = []
-        for d in self.deaths:
+        for d in self._faults():
+            if d.kind != "death":
+                continue
             events.append((d.at_s, 0, d.replica))        # 0 = death
             if d.revive_s is not None:
                 events.append((d.revive_s, 1, d.replica))  # 1 = revival
         return sorted(events)
+
+    # -- what the health layer observes ---------------------------------
+    def partitioned(self, replica: int, now_s: float) -> bool:
+        """Is *replica*'s health signal partitioned away at *now_s*?"""
+        return any(f.window().active(now_s) for f in self._faults()
+                   if f.kind == "partition" and f.replica == replica)
+
+    def probe_dropped(self, replica: int, probe_index: int) -> bool:
+        """Is probe *probe_index* of *replica* lost in flight?  Pure in
+        ``(seed, replica, probe_index)`` — replayable like every other
+        fault decision."""
+        if self.p_probe_loss <= 0.0:
+            return False
+        return hash01(self.seed, _TAG_PROBE, replica,
+                      probe_index) < self.p_probe_loss
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -243,3 +366,49 @@ class FleetFaultPlan:
                 for i in range(n_replicas))
         return cls(seed=seed, deaths=tuple(sorted(
             deaths, key=lambda d: (d.at_s, d.replica))), plans=plans)
+
+    @classmethod
+    def sample_gray(cls, seed: int, horizon_s: float, n_replicas: int,
+                    n_slowdowns: int = 2, slowdown_mult: float = 8.0,
+                    n_flaky: int = 1, flaky_p: float = 0.3,
+                    n_partitions: int = 1, p_probe_loss: float = 0.02,
+                    n_deaths: int = 0, revive: bool = True
+                    ) -> "FleetFaultPlan":
+        """One seeded *gray* fleet scenario over ``[0, horizon_s]``:
+        slowdown / flaky / partition windows strike seeded replicas in
+        the middle 70% of the horizon (so there is traffic to hurt),
+        each lasting a seeded 10–35% of it.  Intensities are seeded up
+        to the given maxima.  Optional clean deaths mix in via the same
+        stream so gray and black failures can interleave."""
+        rng = np.random.default_rng((seed, _TAG_GRAY))
+
+        def gray(kind, n, value_of):
+            out = []
+            for _ in range(n):
+                replica = int(rng.integers(n_replicas))
+                at = float(rng.uniform(0.05, 0.75)) * horizon_s
+                dur = float(rng.uniform(0.10, 0.35)) * horizon_s
+                out.append(ReplicaFault(
+                    replica=replica, at_s=at, kind=kind,
+                    until_s=at + dur,
+                    value=value_of(float(rng.uniform(0.25, 1.0)))))
+            return out
+
+        grays = (gray("slowdown", n_slowdowns,
+                      lambda u: 1.0 + u * (slowdown_mult - 1.0))
+                 + gray("flaky", n_flaky, lambda u: u * flaky_p)
+                 + gray("partition", n_partitions, lambda u: 0.0))
+        deaths = []
+        for _ in range(n_deaths):
+            replica = int(rng.integers(n_replicas))
+            at = float(rng.uniform(0.1, 0.7)) * horizon_s
+            revive_s = at + float(rng.uniform(0.1, 0.25)) * horizon_s \
+                if revive else None
+            deaths.append(ReplicaFault(replica, at, revive_s))
+        return cls(
+            seed=seed,
+            deaths=tuple(sorted(deaths,
+                                key=lambda d: (d.at_s, d.replica))),
+            grays=tuple(sorted(grays,
+                               key=lambda g: (g.at_s, g.replica, g.kind))),
+            p_probe_loss=p_probe_loss)

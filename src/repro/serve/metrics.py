@@ -206,6 +206,16 @@ class ServeMetrics:
         self._event("failed_over")
         self._recovery("failover")
 
+    def on_withdraw(self, req: Request) -> None:
+        """Request pulled back by the fleet guard (hedge loser, or a
+        retry off a suspected replica).  Counted like a failover so the
+        per-replica conservation ``n_terminal + n_failed_over ==
+        n_submitted`` still holds — the request's fate is decided on
+        another replica (or already was, by the hedge winner)."""
+        self.n_failed_over += 1
+        self._event("withdrawn")
+        self._recovery("withdraw")
+
     def sample(self, now_s: float, queue_depth: int, batch_size: int,
                kv_occupancy: float, kv_fragmentation: float) -> None:
         self.samples.append((now_s, queue_depth, batch_size,

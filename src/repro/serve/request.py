@@ -75,6 +75,10 @@ class Request:
     replica: int | None = None
     #: times this request was evacuated off a dying replica
     failovers: int = 0
+    #: rid of the primary this request is a hedge clone of (None: not a
+    #: hedge).  Clones carry the primary's absolute deadline/cancel
+    #: times so the remaining budget propagates across the re-issue.
+    hedge_of: int | None = None
 
     @property
     def context_tokens(self) -> int:
@@ -116,6 +120,14 @@ class Request:
         if self.first_token_s is None:
             return None
         return self.first_token_s - self.arrival_s
+
+    def remaining_s(self, now_s: float) -> float:
+        """Deadline budget left at *now_s*.  Deadlines are absolute, so
+        the budget shrinks across re-routes and hedges for free; a
+        request with no deadline has infinite budget."""
+        if self.deadline_s is None:
+            return float("inf")
+        return self.deadline_s - now_s
 
     def tpot_s(self) -> float | None:
         """Mean time per output token after the first."""

@@ -217,7 +217,10 @@ class ServeSimulator:
                 and req.deadline_s is None:
             req.deadline_s = req.arrival_s + res.deadline_s
         if self.faults is not None:
-            if req.cancel_s is None:
+            # hedge clones inherit the primary's cancel fate verbatim;
+            # re-drawing from the clone's synthetic rid would let one
+            # user decision split into two
+            if req.cancel_s is None and req.hedge_of is None:
                 req.cancel_s = self.faults.cancel_s(req)
             if req.cancel_s is not None and st.obs.metrics.enabled:
                 st.obs.inc("fault_injections", kind="client_cancel")
@@ -414,7 +417,7 @@ class ServeSimulator:
         if fplan is not None:
             mult = fplan.multiplier(now)   # stragglers stretch steps
             dt *= mult
-            failed = fplan.step_fails(st.steps)
+            failed = fplan.step_fails(st.steps, now)
             if mult != 1.0 and obs.metrics.enabled:
                 obs.inc("fault_injections", kind="straggler_step")
         step_start = now
@@ -501,6 +504,50 @@ class ServeSimulator:
             out.append(req)
         self.pool.set_lost_fraction(0.0)
         return out
+
+    def withdraw(self, rid: int):
+        """Pull one non-terminal request back out of this replica — the
+        targeted sibling of :meth:`evacuate`, used by the fleet guard to
+        cancel a hedge loser or move work off a suspected replica.  Its
+        KV blocks are released and its cache reset (it must re-prefill
+        wherever it lands next).  Returns the request, or ``None`` if
+        this replica no longer owns a live request with that rid."""
+        st = self._st
+        if st is None:
+            return None
+        req = None
+        for r in st.running:
+            if r.rid == rid:
+                req = r
+                st.running.remove(r)
+                break
+        if req is None:
+            for r in st.waiting:
+                if r.rid == rid:
+                    req = r
+                    st.waiting.remove(r)
+                    break
+        if req is None:
+            for entry in st.retry_heap:
+                if entry[2].rid == rid:
+                    req = entry[2]
+                    st.retry_heap.remove(entry)
+                    heapq.heapify(st.retry_heap)
+                    break
+        if req is None:
+            for j in range(st.i, len(st.reqs)):
+                if st.reqs[j].rid == rid:
+                    req = st.reqs.pop(j)
+                    break
+        if req is None or req.terminal:
+            return None
+        self.pool.release(req.rid)
+        req.cached = 0
+        if req.state is not RequestState.QUEUED:
+            req.state = RequestState.PREEMPTED
+        req.failovers += 1
+        st.metrics.on_withdraw(req)
+        return req
 
     def finish(self) -> ServeReport:
         """Close the run and report.  The incremental engine's terminal

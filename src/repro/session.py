@@ -177,7 +177,11 @@ class Session:
         """A :class:`~repro.fleet.cluster.FleetSimulator` bound to this
         session's observability.  *machines* is a cluster-preset name
         (see :data:`repro.platform.CLUSTER_PRESETS`) or an iterable of
-        machine models, one per replica slot."""
+        machine models, one per replica slot.  Pass ``guard="default"``
+        (or a :class:`~repro.fleet.guard.GuardPolicy` / preset name
+        from :data:`repro.fleet.GUARD_PRESETS`) to enable the
+        observed-health defense layer — failure detection, circuit
+        breakers, hedged requests, and the retry budget."""
         from .fleet.cluster import FleetSimulator  # deferred, as above
         if isinstance(machines, str):
             from .platform.presets import cluster_preset

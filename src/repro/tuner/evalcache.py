@@ -21,7 +21,9 @@ import json
 import os
 import tempfile
 import threading
+import warnings
 
+from ..core.cache import quarantine_corrupt
 from ..obs.context import current as _obs
 from .generator import Candidate
 from .search import TuneOutcome
@@ -132,9 +134,25 @@ class EvalCache:
         return path
 
     def load(self, path: str) -> int:
-        """Merge entries from *path*; returns how many were loaded."""
-        with open(path) as fh:
-            loaded = json.load(fh)
+        """Merge entries from *path*; returns how many were loaded.
+
+        A corrupt file (truncated write, bad JSON, or a payload that is
+        not the expected dict-of-entries) is quarantined to
+        ``<path>.corrupt`` with a warning and the cache starts empty —
+        a damaged warm-start must never kill the sweep it was meant to
+        speed up."""
+        try:
+            with open(path) as fh:
+                loaded = json.load(fh)
+            if not isinstance(loaded, dict):
+                raise ValueError(
+                    f"expected a JSON object, got {type(loaded).__name__}")
+        except (json.JSONDecodeError, ValueError, UnicodeDecodeError) as exc:
+            quarantined = quarantine_corrupt(path)
+            warnings.warn(
+                f"eval cache at {path} is corrupt ({exc}); moved to "
+                f"{quarantined} and starting empty", stacklevel=2)
+            return 0
         with self._lock:
             self._data.update(loaded)
         return len(loaded)

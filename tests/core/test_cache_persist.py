@@ -99,3 +99,60 @@ class TestPersistence:
         cache.save()
         cache.save()                              # overwrite in place
         assert sorted(os.listdir(tmp_path)) == ["nests.json"]
+
+
+class TestCorruptQuarantine:
+    """A damaged persisted cache must never kill the run that loads it:
+    it is renamed to <path>.corrupt with a warning and the cache starts
+    empty."""
+
+    def test_truncated_json_is_quarantined(self, tmp_path):
+        path = os.fspath(tmp_path / "nests.json")
+        warm = NestCache(persist_path=path)
+        ThreadedLoop(SPECS, "ab", cache=warm)
+        warm.save()
+        with open(path) as fh:
+            payload = fh.read()
+        with open(path, "w") as fh:
+            fh.write(payload[:len(payload) // 2])    # torn write
+
+        with pytest.warns(UserWarning, match="corrupt"):
+            cold = NestCache(persist_path=path)
+        assert len(cold) == 0 and cold.disk_hits == 0
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+        # the quarantined bytes are kept verbatim for diagnosis
+        with open(path + ".corrupt") as fh:
+            assert fh.read() == payload[:len(payload) // 2]
+
+    def test_wrong_shape_is_quarantined(self, tmp_path):
+        path = os.fspath(tmp_path / "nests.json")
+        with open(path, "w") as fh:
+            json.dump(["not", "a", "dict"], fh)
+        with pytest.warns(UserWarning, match="expected a JSON object"):
+            cache = NestCache(persist_path=path)
+        assert len(cache) == 0
+        assert os.path.exists(path + ".corrupt")
+
+    def test_cache_still_works_after_quarantine(self, tmp_path):
+        path = os.fspath(tmp_path / "nests.json")
+        with open(path, "w") as fh:
+            fh.write("{ nope")
+        with pytest.warns(UserWarning):
+            cache = NestCache(persist_path=path)
+        ThreadedLoop(SPECS, "ab", cache=cache)        # compiles fresh
+        assert cache.misses == 1
+        cache.save()                                  # re-persists cleanly
+        reloaded = NestCache(persist_path=path)
+        ThreadedLoop(SPECS, "ab", cache=reloaded)
+        assert reloaded.disk_hits == 1 and reloaded.misses == 0
+
+    def test_requarantine_overwrites_old_evidence(self, tmp_path):
+        path = os.fspath(tmp_path / "nests.json")
+        for payload in ("{ first", "{ second"):
+            with open(path, "w") as fh:
+                fh.write(payload)
+            with pytest.warns(UserWarning, match="corrupt"):
+                NestCache(persist_path=path)
+        with open(path + ".corrupt") as fh:
+            assert fh.read() == "{ second"

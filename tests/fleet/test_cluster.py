@@ -128,7 +128,7 @@ class TestHeterogeneity:
 
     def test_preset_registry(self):
         assert set(CLUSTER_PRESETS) \
-            == {"homo4", "hetero4", "hetero6", "edge4", "duo"}
+            == {"homo4", "homo6", "hetero4", "hetero6", "edge4", "duo"}
         with pytest.raises(KeyError, match="unknown cluster"):
             cluster_preset("mega9000")
 

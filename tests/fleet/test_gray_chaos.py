@@ -1,0 +1,58 @@
+"""Gray-failure chaos sweep: the defended fleet under sampled
+slowdowns, flakiness, partitions, probe loss, and deaths must keep
+every invariant over many seeds."""
+
+import pytest
+
+from repro.fleet import FleetSimulator, PoissonTrace
+from repro.platform import cluster_preset
+from repro.resilience import (FleetFaultPlan, ResilienceConfig,
+                              fleet_chaos_trial)
+from repro.workloads import LlmConfig
+
+TINY = LlmConfig("tiny", layers=4, hidden=256, heads=8, intermediate=1024,
+                 vocab=8192)
+NO_DEGRADE = ResilienceConfig(deadline_s=30.0, degrade=None)
+MACHINES = cluster_preset("homo4")
+HORIZON_S = 8.0
+
+
+def gray_trial(seed, guard="default", n_deaths=0):
+    faults = FleetFaultPlan.sample_gray(
+        seed=seed, horizon_s=HORIZON_S, n_replicas=len(MACHINES),
+        n_slowdowns=2, slowdown_mult=200.0, n_flaky=1, flaky_p=0.3,
+        n_partitions=1, p_probe_loss=0.02, n_deaths=n_deaths)
+    trace = PoissonTrace(seed=seed + 1000, n_requests=400, rate_rps=120,
+                         mean_prompt=256, mean_new_tokens=32,
+                         max_new_tokens=128)
+    fleet = FleetSimulator(TINY, MACHINES, router="round_robin",
+                           faults=faults, resilience=NO_DEGRADE,
+                           mem_fraction=0.02, guard=guard)
+    return fleet_chaos_trial(fleet, trace, seed=seed)
+
+
+@pytest.mark.chaos
+class TestGrayChaosSweep:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_defended_fleet_survives_gray_faults(self, seed):
+        outcome = gray_trial(seed)
+        assert outcome.ok, outcome.violations
+        s = outcome.summary
+        assert s.n_terminal == s.n_injected
+        assert s.retry_budget_spent == s.n_hedges + s.n_guard_retries
+
+    @pytest.mark.parametrize("seed", [2, 7, 11])
+    def test_gray_faults_plus_deaths(self, seed):
+        outcome = gray_trial(seed, n_deaths=1)
+        assert outcome.ok, outcome.violations
+
+    @pytest.mark.parametrize("seed", [3, 13])
+    def test_paranoid_preset_also_conserves(self, seed):
+        outcome = gray_trial(seed, guard="paranoid")
+        assert outcome.ok, outcome.violations
+
+    def test_sweep_is_deterministic(self):
+        a = gray_trial(5)
+        b = gray_trial(5)
+        assert a.ok and b.ok
+        assert a.summary == b.summary

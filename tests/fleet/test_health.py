@@ -1,0 +1,143 @@
+"""Phi-accrual failure detection over seeded probes."""
+
+import pytest
+
+from repro.fleet import HealthMonitor, HealthPolicy, ObservedReplica
+from repro.resilience import FleetFaultPlan, ReplicaFault
+
+
+class FakeReplica:
+    """Just the attributes the monitor reads off a live replica."""
+
+    def __init__(self, rid, kv_load=0.1, queue_depth=2, in_flight=3,
+                 sim=object()):
+        self.id = rid
+        self.kv_load = kv_load
+        self.queue_depth = queue_depth
+        self.in_flight = in_flight
+        self.sim = sim
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            HealthPolicy(probe_interval_s=0.0)
+        with pytest.raises(ValueError):
+            HealthPolicy(window=0)
+        with pytest.raises(ValueError):
+            HealthPolicy(phi_threshold=-1.0)
+
+
+class TestPhi:
+    def test_fresh_replica_is_innocent(self):
+        mon = HealthMonitor()
+        mon.activate(0, now_s=0.0)
+        assert mon.phi(0, 0.0) == 0.0
+        assert not mon.suspected(0, 0.4)
+
+    def test_suspicion_grows_with_silence(self):
+        mon = HealthMonitor(HealthPolicy(probe_interval_s=0.5,
+                                         min_samples=2))
+        mon.activate(0, now_s=0.0)
+        for t in (0.5, 1.0, 1.5, 2.0):
+            mon.record(0, t)
+        # silence after a steady 0.5 s cadence: phi = t / (0.5 ln 10)
+        assert mon.phi(0, 2.0) == 0.0
+        low, high = mon.phi(0, 3.0), mon.phi(0, 6.0)
+        assert 0.0 < low < high
+        assert mon.suspected(0, 6.0)       # 4 s of silence, phi ~3.47
+        assert not mon.suspected(0, 2.5)
+
+    def test_delivered_probe_resets_suspicion(self):
+        mon = HealthMonitor()
+        mon.activate(0, 0.0)
+        for t in (0.5, 1.0, 1.5):
+            mon.record(0, t)
+        assert mon.phi(0, 8.0) > 3.0
+        mon.record(0, 8.0)
+        assert mon.phi(0, 8.0) == 0.0
+
+    def test_activate_wipes_old_incarnations_history(self):
+        mon = HealthMonitor()
+        mon.activate(0, 0.0)
+        for t in (0.5, 1.0):
+            mon.record(0, t)
+        assert mon.suspected(0, 30.0)
+        mon.activate(0, 30.0)              # revive: innocent again
+        assert mon.phi(0, 30.0) == 0.0
+        assert not mon.suspected(0, 30.5)
+
+    def test_min_samples_guard(self):
+        # one gap < min_samples=2: no accusation within the grace window
+        mon = HealthMonitor(HealthPolicy(probe_interval_s=0.5,
+                                         min_samples=2))
+        mon.activate(0, 0.0)
+        mon.record(0, 0.5)
+        assert mon.phi(0, 1.4) == 0.0      # within 2 x interval of grace
+        assert mon.phi(0, 5.0) > 0.0       # silence eventually counts
+
+
+class TestProbes:
+    def test_probe_reads_replica_signals(self):
+        mon = HealthMonitor()
+        r = FakeReplica(0, kv_load=0.25, queue_depth=7, in_flight=4)
+        assert mon.probe(0, r, 0.0)
+        [view] = mon.observed([r], 0.0)
+        assert isinstance(view, ObservedReplica)
+        assert (view.kv_load, view.queue_depth, view.in_flight) \
+            == (0.25, 7, 4)
+        assert view.replica is r
+
+    def test_dead_slot_probe_is_lost(self):
+        mon = HealthMonitor()
+        assert not mon.probe(0, None, 0.0)
+        assert not mon.probe(1, FakeReplica(1, sim=None), 0.0)
+
+    def test_partition_drops_probes_of_a_live_replica(self):
+        faults = FleetFaultPlan(seed=5, grays=(
+            ReplicaFault(replica=0, at_s=2.0, kind="partition",
+                         until_s=4.0),))
+        mon = HealthMonitor(faults=faults)
+        r = FakeReplica(0)
+        assert mon.probe(0, r, 1.0)
+        assert not mon.probe(0, r, 3.0)    # inside the partition window
+        assert mon.probe(0, r, 5.0)
+
+    def test_probe_loss_is_seeded_and_counter_keyed(self):
+        faults = FleetFaultPlan(seed=9, p_probe_loss=0.5)
+        outcomes = []
+        for _ in range(2):
+            mon = HealthMonitor(faults=faults)
+            outcomes.append([mon.probe(0, FakeReplica(0), 0.5 * i)
+                             for i in range(40)])
+        assert outcomes[0] == outcomes[1]          # deterministic replay
+        assert any(outcomes[0]) and not all(outcomes[0])
+        assert mon.n_probes(0) == 40
+
+    def test_probe_counter_survives_activate(self):
+        # a new incarnation must not replay the old one's drop coins
+        faults = FleetFaultPlan(seed=9, p_probe_loss=0.5)
+        mon = HealthMonitor(faults=faults)
+        first = [mon.probe(0, FakeReplica(0), 0.5 * i) for i in range(20)]
+        mon.activate(0, 10.0)
+        second = [mon.probe(0, FakeReplica(0), 10.0 + 0.5 * i)
+                  for i in range(20)]
+        assert mon.n_probes(0) == 40
+        assert first != second
+
+
+class TestObservedViews:
+    def test_views_are_stale_snapshots(self):
+        mon = HealthMonitor()
+        r = FakeReplica(0, kv_load=0.1)
+        mon.probe(0, r, 0.0)
+        r.kv_load = 0.9                    # live state changes...
+        [view] = mon.observed([r], 0.1)
+        assert view.kv_load == 0.1         # ...the view does not
+
+    def test_unprobed_replica_reads_zero(self):
+        mon = HealthMonitor()
+        [view] = mon.observed([FakeReplica(3)], 0.0)
+        assert (view.kv_load, view.queue_depth, view.in_flight) \
+            == (0.0, 0, 0)
+        assert view.suspicion == 0.0

@@ -119,3 +119,51 @@ class TestReplay:
             fh.write('{"format": "something-else"}\n')
         with pytest.raises(ValueError, match="not a fleet trace"):
             next(load_trace(path))
+
+    def test_unparseable_header_names_the_line(self, tmp_path):
+        path = str(tmp_path / "garbage.jsonl")
+        with open(path, "w") as fh:
+            fh.write("not json at all\n")
+        with pytest.raises(ValueError, match=r"garbage\.jsonl:1"):
+            next(load_trace(path))
+
+    def test_midfile_corruption_names_path_and_lineno(self, tmp_path):
+        trace = PoissonTrace(seed=7, n_requests=5, rate_rps=50)
+        path = str(tmp_path / "trace.jsonl")
+        save_trace(path, trace)
+        with open(path) as fh:
+            lines = fh.readlines()
+        lines[3] = lines[3][:20] + "\n"          # truncate record 3
+        with open(path, "w") as fh:
+            fh.writelines(lines)
+        with pytest.raises(ValueError,
+                           match=r"trace\.jsonl:4: bad trace record") \
+                as excinfo:
+            list(load_trace(path))
+        # the offending line's prefix is quoted for diagnosis
+        assert lines[3].strip()[:10] in str(excinfo.value)
+
+    def test_duplicate_rid_rejected_with_context(self, tmp_path):
+        trace = PoissonTrace(seed=7, n_requests=3, rate_rps=50)
+        path = str(tmp_path / "dup.jsonl")
+        save_trace(path, trace)
+        with open(path) as fh:
+            lines = fh.readlines()
+        lines.append(lines[1])                   # replay request 0
+        with open(path, "w") as fh:
+            fh.writelines(lines)
+        with pytest.raises(ValueError,
+                           match=r"dup\.jsonl:5: duplicate request id"):
+            list(load_trace(path))
+
+    def test_records_before_the_bad_line_still_stream(self, tmp_path):
+        trace = PoissonTrace(seed=7, n_requests=4, rate_rps=50)
+        path = str(tmp_path / "partial.jsonl")
+        save_trace(path, trace)
+        with open(path, "a") as fh:
+            fh.write("{broken\n")
+        it = load_trace(path)
+        got = [next(it) for _ in range(4)]       # intact prefix streams
+        assert [r.rid for r in got] == [0, 1, 2, 3]
+        with pytest.raises(ValueError, match="bad trace record"):
+            next(it)

@@ -3,7 +3,11 @@ replayable function of the seed."""
 
 import math
 
-from repro.resilience import FaultPlan, FaultWindow, hash01
+import pytest
+
+from repro.resilience import (FaultPlan, FaultWindow,
+                              FleetFaultPlan, REPLICA_FAULT_KINDS,
+                              ReplicaFault, hash01)
 from repro.serve import Request
 
 
@@ -115,3 +119,118 @@ class TestSampling:
                 assert w.value >= 1.0 and w.end_s > w.start_s >= 0.0
             for w in plan.capacity_windows:
                 assert 0.0 <= w.value <= 0.9 and w.end_s > w.start_s >= 0.0
+
+
+class TestReplicaFaultKinds:
+    def test_kind_validation(self):
+        assert REPLICA_FAULT_KINDS == ("death", "slowdown", "flaky",
+                                       "partition")
+        with pytest.raises(ValueError, match="unknown ReplicaFault kind"):
+            ReplicaFault(replica=0, at_s=1.0, kind="meltdown")
+        with pytest.raises(ValueError, match="slowdown value"):
+            ReplicaFault(replica=0, at_s=1.0, kind="slowdown", value=0.5)
+        with pytest.raises(ValueError, match="flaky value"):
+            ReplicaFault(replica=0, at_s=1.0, kind="flaky", value=1.5)
+
+    def test_gray_property_and_window(self):
+        death = ReplicaFault(replica=0, at_s=1.0)
+        slow = ReplicaFault(replica=0, at_s=1.0, kind="slowdown",
+                            until_s=4.0, value=8.0)
+        assert not death.gray and slow.gray
+        w = slow.window()
+        assert (w.start_s, w.end_s, w.value) == (1.0, 4.0, 8.0)
+        assert slow.window().active(2.0) and not slow.window().active(5.0)
+        with pytest.raises(ValueError, match="not a windowed fault"):
+            death.window()
+
+    def test_open_ended_gray_window(self):
+        f = ReplicaFault(replica=1, at_s=2.0, kind="partition")
+        assert f.window().active(1e9)
+
+
+class TestGrayFolding:
+    def test_slowdown_folds_into_replica_plan(self):
+        plan = FleetFaultPlan(seed=4, grays=(
+            ReplicaFault(replica=1, at_s=2.0, kind="slowdown",
+                         until_s=5.0, value=6.0),))
+        assert plan.plan_for(0) is None          # untouched replica
+        fp = plan.plan_for(1)
+        assert fp.multiplier(3.0) == 6.0
+        assert fp.multiplier(6.0) == 1.0
+
+    def test_flaky_window_raises_step_failure_inside_only(self):
+        plan = FleetFaultPlan(seed=4, grays=(
+            ReplicaFault(replica=0, at_s=1.0, kind="flaky",
+                         until_s=3.0, value=1.0),))
+        fp = plan.plan_for(0)
+        assert all(fp.step_fails(i, now_s=2.0) for i in range(10))
+        assert not any(fp.step_fails(i, now_s=4.0) for i in range(10))
+        # the draw is keyed on the step index, not the time
+        assert fp.step_fails(3, now_s=2.0) == fp.step_fails(3, now_s=2.5)
+
+    def test_folding_preserves_base_plan(self):
+        base = FaultPlan(seed=9, straggler_windows=(
+            FaultWindow(0.0, 1.0, 2.0),), p_cancel=0.1)
+        plan = FleetFaultPlan(seed=4, plans=(base,), grays=(
+            ReplicaFault(replica=0, at_s=2.0, kind="slowdown",
+                         until_s=3.0, value=4.0),))
+        fp = plan.plan_for(0)
+        assert fp.seed == 9 and fp.p_cancel == 0.1
+        assert fp.multiplier(0.5) == 2.0 and fp.multiplier(2.5) == 4.0
+
+    def test_partition_does_not_touch_the_serving_plan(self):
+        plan = FleetFaultPlan(seed=4, grays=(
+            ReplicaFault(replica=0, at_s=1.0, kind="partition",
+                         until_s=9.0),))
+        assert plan.plan_for(0) is None          # serving unaffected
+        assert plan.partitioned(0, 5.0)
+        assert not plan.partitioned(0, 0.5)
+        assert not plan.partitioned(1, 5.0)
+
+    def test_gray_faults_are_not_death_events(self):
+        plan = FleetFaultPlan(seed=4, grays=(
+            ReplicaFault(replica=0, at_s=1.0, kind="slowdown",
+                         until_s=2.0, value=3.0),),
+            deaths=(ReplicaFault(replica=1, at_s=4.0),))
+        assert plan.death_events() == [(4.0, 0, 1)]
+
+
+class TestProbeLoss:
+    def test_probe_drop_is_counter_keyed_and_seeded(self):
+        plan = FleetFaultPlan(seed=12, p_probe_loss=0.3)
+        drops = [plan.probe_dropped(0, i) for i in range(200)]
+        assert drops == [plan.probe_dropped(0, i) for i in range(200)]
+        assert 0 < sum(drops) < 200
+        other = [plan.probe_dropped(1, i) for i in range(200)]
+        assert drops != other                    # replicas draw apart
+        assert not FleetFaultPlan(seed=12).probe_dropped(0, 7)
+
+
+class TestSampleGray:
+    def test_seeded_and_reproducible(self):
+        a = FleetFaultPlan.sample_gray(seed=6, horizon_s=20.0,
+                                       n_replicas=4)
+        b = FleetFaultPlan.sample_gray(seed=6, horizon_s=20.0,
+                                       n_replicas=4)
+        assert a == b
+        c = FleetFaultPlan.sample_gray(seed=7, horizon_s=20.0,
+                                       n_replicas=4)
+        assert a != c
+
+    def test_kinds_and_bounds(self):
+        plan = FleetFaultPlan.sample_gray(
+            seed=6, horizon_s=20.0, n_replicas=4, n_slowdowns=3,
+            slowdown_mult=10.0, n_flaky=2, flaky_p=0.4, n_partitions=1,
+            n_deaths=1)
+        kinds = [g.kind for g in plan.grays]
+        assert kinds.count("slowdown") == 3
+        assert kinds.count("flaky") == 2
+        assert kinds.count("partition") == 1
+        assert len(plan.deaths) == 1
+        for g in plan.grays:
+            assert 0.0 <= g.at_s <= 20.0 and g.until_s > g.at_s
+            if g.kind == "slowdown":
+                assert 1.0 <= g.value <= 10.0
+            if g.kind == "flaky":
+                assert 0.0 <= g.value <= 0.4
+        assert plan.p_probe_loss == 0.02

@@ -142,3 +142,73 @@ class TestAdmissionControl:
         s = sim(cost, n_blocks=16).run(reqs).summary
         assert s.n_rejected == 1
         assert s.n_finished == 1
+
+
+class TestWithdraw:
+    """The targeted evacuation the fleet guard uses to cancel a hedge
+    loser or move work off a suspected replica."""
+
+    def test_withdraw_queued_request(self, cost):
+        s = sim(cost)
+        s.begin()
+        req = Request(rid=0, arrival_s=0.0, prompt_tokens=64,
+                      max_new_tokens=16)
+        s.push(req)
+        moved = s.withdraw(0)
+        assert moved is req
+        assert moved.state is RequestState.QUEUED   # never started
+        assert moved.failovers == 1
+        assert s.pool.holders() == []
+        rep = s.finish()
+        # the withdrawn request is the replica's failover, not terminal
+        assert rep.summary.n_failed_over == 1
+        assert rep.summary.n_terminal == 0
+
+    def test_withdraw_running_request_releases_kv(self, cost):
+        s = sim(cost)
+        s.begin()
+        req = Request(rid=5, arrival_s=0.0, prompt_tokens=64,
+                      max_new_tokens=64)
+        s.push(req)
+        for _ in range(3):                          # prefill + decode
+            if not s.advance():
+                break
+        assert req.cached > 0                       # it holds KV now
+        moved = s.withdraw(5)
+        assert moved is req
+        assert moved.state is RequestState.PREEMPTED
+        assert moved.cached == 0                    # must re-prefill
+        assert s.pool.holders() == []
+        s.finish()
+
+    def test_withdraw_unknown_or_terminal_is_none(self, cost):
+        s = sim(cost)
+        s.begin()
+        req = Request(rid=1, arrival_s=0.0, prompt_tokens=32,
+                      max_new_tokens=4)
+        s.push(req)
+        while s.advance():
+            pass
+        assert req.state is RequestState.FINISHED
+        assert s.withdraw(1) is None                # terminal: untouchable
+        assert s.withdraw(99) is None               # never seen
+        rep = s.finish()
+        assert rep.summary.n_finished == 1
+        assert rep.summary.n_failed_over == 0
+
+    def test_withdrawn_request_reruns_elsewhere(self, cost):
+        a, b = sim(cost), sim(cost)
+        a.begin(), b.begin()
+        req = Request(rid=7, arrival_s=0.0, prompt_tokens=48,
+                      max_new_tokens=8)
+        a.push(req)
+        a.advance()
+        moved = a.withdraw(7)
+        b.push(moved)
+        while b.advance():
+            pass
+        assert moved.state is RequestState.FINISHED
+        assert moved.generated == 8
+        ra, rb = a.finish(), b.finish()
+        assert ra.summary.n_failed_over == 1
+        assert rb.summary.n_finished == 1

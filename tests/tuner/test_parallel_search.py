@@ -1,6 +1,7 @@
 """Parallel + screened search must rank exactly like the serial sweep,
 and EvalCache must warm-start it losslessly."""
 
+import json
 import multiprocessing
 import os
 
@@ -210,3 +211,30 @@ class TestEvalCache:
         warm = search(cands, ec2.wrap(counting, ZEN4, "wl"))
         assert calls == []                      # fully warm from disk
         assert _outcome_tuples(warm) == _outcome_tuples(cold)
+
+
+class TestEvalCacheQuarantine:
+    def test_corrupt_table_is_quarantined_not_fatal(self, tmp_path):
+        path = os.fspath(tmp_path / "evals.json")
+        with open(path, "w") as fh:
+            fh.write('{"k": {"score"')               # torn write
+        with pytest.warns(UserWarning, match="corrupt"):
+            ec = EvalCache(path=path)                # autoload survives
+        assert len(ec) == 0
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+
+    def test_wrong_shape_is_quarantined(self, tmp_path):
+        path = os.fspath(tmp_path / "evals.json")
+        with open(path, "w") as fh:
+            json.dump([1, 2, 3], fh)
+        with pytest.warns(UserWarning, match="expected a JSON object"):
+            ec = EvalCache(path=path)
+        assert len(ec) == 0
+        # the sweep can still run and re-persist over the freed path
+        cands = _candidates(budget=4)
+        inner = perfmodel_evaluator(SPECS, _sim_body(ZEN4, DType.F32),
+                                    ZEN4, num_threads=16)
+        search(cands, ec.wrap(inner, ZEN4, "wl"))
+        ec.save()
+        assert len(EvalCache(path=path)) == len(cands)

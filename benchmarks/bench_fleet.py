@@ -41,10 +41,16 @@ FAULTS = FleetFaultPlan(seed=9, deaths=(
     ReplicaFault(replica=0, at_s=70.0, revive_s=100.0),))
 RESILIENCE = ResilienceConfig(deadline_s=2.0, degrade=None)
 
+# engine anchors + step-price memos, warmed once and shared by every
+# fleet this module builds: reruns re-price nothing (sessions stay fresh
+# per run, so metrics digests are untouched — pricing is bit-identical
+# warm or cold)
+COSTS: dict = {}
+
 
 def _fleet(router, session=None):
     kw = dict(router=router, faults=FAULTS, resilience=RESILIENCE,
-              mem_fraction=0.001)
+              mem_fraction=0.001, costs=COSTS)
     if session is not None:
         return session.fleet(TINY, machines="hetero4", **kw)
     return FleetSimulator(TINY, cluster_preset("hetero4"), **kw)
@@ -69,7 +75,8 @@ def _traced_digest(tmp_path, tag):
     fleet = ses.fleet(TINY, machines="hetero4", router="least_kv_loaded",
                       faults=FleetFaultPlan(seed=9, deaths=(
                           ReplicaFault(replica=0, at_s=4.0),)),
-                      resilience=RESILIENCE, mem_fraction=0.001)
+                      resilience=RESILIENCE, mem_fraction=0.001,
+                      costs=COSTS)
     fleet.run(small, keep_requests=False)
     path = str(tmp_path / f"fleet_trace_{tag}.json")
     ses.obs.tracer.write_chrome(path)

@@ -65,6 +65,37 @@ class NestContext:
             return (start, end)
 
 
+class _InlineContext:
+    """Lock- and barrier-free :class:`NestContext` stand-in for the
+    single-threaded fast path.  With one thread there is no contention
+    to guard against and a barrier is trivially satisfied, so the
+    per-invocation ``Lock`` allocation and ``with`` overhead in
+    ``next_chunk`` — measurable across a tuner screening sweep's many
+    tiny nests — can be skipped.  Must be constructed fresh per
+    invocation: the dynamic-schedule counters are per-run state.
+    """
+
+    __slots__ = ("num_threads", "grid", "_counters")
+
+    def __init__(self, num_threads: int, grid=(1, 1, 1)):
+        self.num_threads = num_threads
+        self.grid = grid
+        self._counters: dict = {}
+
+    def barrier(self) -> None:
+        pass
+
+    def next_chunk(self, group_id: int, epoch: tuple, total: int,
+                   chunk: int):
+        key = (group_id, epoch)
+        start = self._counters.get(key, 0)
+        if start >= total:
+            return None
+        end = min(start + chunk, total)
+        self._counters[key] = end
+        return (start, end)
+
+
 @renamed_kwarg("nthreads", "num_threads")
 def run_nest(nest_func, num_threads: int, body_func, init_func=None,
              term_func=None, grid=(1, 1, 1), execution: str = "serial"
@@ -112,6 +143,13 @@ def _run_nest(nest_func, num_threads: int, body_func, init_func,
         raise ExecutionError(
             f"thread grid {(gr, gc, gd)} requires {gr * gc * gd} threads "
             f"but {num_threads} were provided")
+
+    if num_threads == 1:
+        # single logical thread: no interleaving possible in either mode,
+        # so run inline without thread/barrier machinery
+        ctx = _InlineContext(1, (gr, gc, gd))
+        nest_func(0, 1, body_func, init_func, term_func, ctx)
+        return
 
     if execution == "serial":
         ctx = NestContext(num_threads, (gr, gc, gd), use_real_barrier=False)

@@ -211,14 +211,18 @@ class FleetSimulator:
     preset name (``"default"``/``"hedge_only"``/``"paranoid"``)
     enabling observed-health routing, circuit breakers, hedged
     requests and the fleet-wide retry budget (None: the omniscient
-    loop of PR 6, byte-identical to before)."""
+    loop of PR 6, byte-identical to before).  ``costs`` injects a
+    shared ``{machine.name: ServeCostModel}`` dict so repeated fleets
+    over the same hardware reuse warmed engine anchors and step-price
+    memos instead of re-pricing from scratch."""
 
     def __init__(self, config, machines, router="round_robin",
                  autoscale=None, faults=None, resilience=None,
                  stack_name: str = "parlooper", dtype: DType = DType.BF16,
                  batcher=None, scheduler=None, block_tokens: int = 16,
                  mem_fraction: float = 0.9, obs=None,
-                 initial_replicas: int | None = None, guard=None):
+                 initial_replicas: int | None = None, guard=None,
+                 costs: dict | None = None):
         machines = tuple(machines)
         if not machines:
             raise ServeConfigError(
@@ -249,8 +253,10 @@ class FleetSimulator:
                 f"got {initial_replicas!r}")
         self.initial_replicas = initial_replicas
         # engine-priced cost anchors shared across incarnations (a
-        # revive re-prices nothing)
-        self._costs: dict = {}
+        # revive re-prices nothing); pass ``costs`` to share the warmed
+        # models across *fleets* too — benchmark reruns and sweeps over
+        # identical hardware re-price nothing at all
+        self._costs: dict = costs if costs is not None else {}
         self.replicas: list = []
         #: the FleetGuard of the last run (None: undefended) — the
         #: chaos harness audits its breakers/budget/hedge records

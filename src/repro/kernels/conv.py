@@ -77,7 +77,8 @@ class ParlooperConv:
                  dtype: DType = DType.F32,
                  spec_string: str = DEFAULT_CONV_SPEC,
                  num_threads: int | None = None,
-                 block_steps=None):
+                 block_steps=None,
+                 backend: str = "interp"):
         divisible(spec.C, bc, "C")
         divisible(spec.K, bk, "K")
         self.spec = spec
@@ -105,7 +106,8 @@ class ParlooperConv:
              LoopSpecs(0, spec.Q, self.w_step, bs[4]),     # e: out cols
              LoopSpecs(0, spec.R, spec.R, bs[5]),          # f: filter rows
              LoopSpecs(0, spec.S, spec.S, bs[6])],         # g: filter cols
-            spec_string, num_threads=num_threads)
+            spec_string, num_threads=num_threads, backend=backend)
+        self.backend = self.conv_loop.backend
         self.num_threads = self.conv_loop.num_threads
         self._sim_bodies: dict = {}
 
@@ -137,6 +139,14 @@ class ParlooperConv:
     # -- functional -------------------------------------------------------
     def __call__(self, I: np.ndarray, Wt: np.ndarray, O: np.ndarray
                  ) -> np.ndarray:
+        if self.backend == "batched":
+            from .batched import (conv_batched_ok, record_backend_outcome,
+                                  run_conv_batched)
+            ok, reason = conv_batched_ok(self)
+            if ok:
+                record_backend_outcome("conv", "lowered")
+                return run_conv_batched(self, I, Wt, O)
+            record_backend_outcome("conv", "fallback", reason)
         sp = self.spec
         st = sp.stride
 
@@ -216,7 +226,11 @@ class ParlooperConv:
                 sample_threads: int | None = None):
         """Box-B3 performance-model companion of :meth:`simulate`."""
         from ..session import resolve_session
+        builder = None
+        if self.backend == "batched":
+            from .batched import conv_trace_builder
+            builder = conv_trace_builder(self, machine)
         return resolve_session(session).predict(
             self.conv_loop, self._cached_sim_body(machine), machine,
             sample_threads=sample_threads, total_flops=float(self.flops),
-            body_key=self._body_key(machine))
+            body_key=self._body_key(machine), trace_builder=builder)

@@ -50,6 +50,11 @@ class ParlooperGemm:
         Use a flat (non-blocked) B layout.  Functionally identical;
         the simulator charges the conflict-miss footprint inflation the
         paper attributes to oneDNN's layout at ld=4096 (§V-A1).
+    backend:
+        ``"interp"`` (default) runs one body call per iteration;
+        ``"batched"`` lowers eligible nests to tile-level stacked NumPy
+        (:mod:`repro.kernels.batched`) and vectorizes trace capture,
+        falling back to the interpreter otherwise.
     """
 
     def __init__(self, M: int, N: int, K: int,
@@ -61,7 +66,8 @@ class ParlooperGemm:
                  block_steps=((), (), ()),
                  activation: str = "none",
                  bias: bool = False,
-                 flat_b: bool = False):
+                 flat_b: bool = False,
+                 backend: str = "interp"):
         divisible(M, bm, "M")
         divisible(N, bn, "N")
         divisible(K, bk, "K")
@@ -94,7 +100,8 @@ class ParlooperGemm:
             [LoopSpecs(0, self.Kb, self.k_step, block_steps[0]),
              LoopSpecs(0, self.Mb, 1, block_steps[1]),
              LoopSpecs(0, self.Nb, 1, block_steps[2])],
-            spec_string, num_threads=num_threads)
+            spec_string, num_threads=num_threads, backend=backend)
+        self.backend = self.gemm_loop.backend
         self.num_threads = self.gemm_loop.num_threads
         self._sim_bodies: dict = {}
 
@@ -120,6 +127,14 @@ class ParlooperGemm:
         """Run the kernel (Listing 1 lines 11-17)."""
         if self.bias and bias_vec is None:
             raise ValueError("kernel was built with bias=True; pass bias_vec")
+        if self.backend == "batched":
+            from .batched import (gemm_batched_ok, record_backend_outcome,
+                                  run_gemm_batched)
+            ok, reason = gemm_batched_ok(self)
+            if ok:
+                record_backend_outcome("gemm", "lowered")
+                return run_gemm_batched(self, A, B, C, bias_vec)
+            record_backend_outcome("gemm", "fallback", reason)
         last_k = self.Kb - self.k_step
 
         def body(ind):
@@ -237,11 +252,16 @@ class ParlooperGemm:
         from ..session import resolve_session
         sess = resolve_session(session)
         scale = self._conflict_scale()
+        builder = None
+        if self.backend == "batched":
+            from .batched import gemm_trace_builder
+            builder = gemm_trace_builder(self, machine, scale)
         return sess.predict(self.gemm_loop,
                             self._cached_sim_body(machine, scale),
                             machine, sample_threads=sample_threads,
                             total_flops=float(self.flops),
-                            body_key=self._body_key(machine, scale))
+                            body_key=self._body_key(machine, scale),
+                            trace_builder=builder)
 
     def with_spec(self, spec_string: str, block_steps=None,
                   num_threads=None) -> "ParlooperGemm":
@@ -252,4 +272,5 @@ class ParlooperGemm:
             num_threads=num_threads,
             block_steps=block_steps if block_steps is not None
             else ((), (), ()),
-            activation=self.activation, bias=self.bias, flat_b=self.flat_b)
+            activation=self.activation, bias=self.bias, flat_b=self.flat_b,
+            backend=self.backend)

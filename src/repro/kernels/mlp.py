@@ -33,7 +33,8 @@ class MlpLayer:
                  dtype: DType = DType.F32,
                  spec_string: str = DEFAULT_GEMM_SPEC,
                  num_threads: int | None = None,
-                 activation: str = "relu", bias: bool = True):
+                 activation: str = "relu", bias: bool = True,
+                 backend: str = "interp"):
         # GEMM dims: M = out_features, K = in_features, N = minibatch
         self.in_features = in_features
         self.out_features = out_features
@@ -41,7 +42,8 @@ class MlpLayer:
         self.gemm = ParlooperGemm(
             out_features, minibatch, in_features, bm, bn, bk,
             dtype=dtype, spec_string=spec_string, num_threads=num_threads,
-            activation=activation, bias=bias)
+            activation=activation, bias=bias, backend=backend)
+        self.backend = self.gemm.backend
 
     def __call__(self, W_blocked: np.ndarray, I_blocked: np.ndarray,
                  bias_vec: np.ndarray | None) -> np.ndarray:
@@ -62,7 +64,8 @@ class ParlooperMlp:
                  dtype: DType = DType.F32,
                  spec_string: str = DEFAULT_GEMM_SPEC,
                  num_threads: int | None = None,
-                 activation: str = "relu", bias: bool = True, seed: int = 0):
+                 activation: str = "relu", bias: bool = True, seed: int = 0,
+                 backend: str = "interp"):
         if len(sizes) < 2:
             raise ValueError("an MLP needs at least one layer (two sizes)")
         self.sizes = list(sizes)
@@ -72,9 +75,11 @@ class ParlooperMlp:
         self.bias = bias
         self.layers = [
             MlpLayer(sizes[l], sizes[l + 1], minibatch, bm, bn, bk, dtype,
-                     spec_string, num_threads, activation, bias)
+                     spec_string, num_threads, activation, bias,
+                     backend=backend)
             for l in range(len(sizes) - 1)
         ]
+        self.backend = self.layers[0].backend
         rng = np.random.default_rng(seed)
         self.weights = []
         self.biases = []
@@ -180,12 +185,20 @@ class ParlooperMlp:
         from ..session import resolve_session
         from ..simulator.perfmodel import PerfPrediction
         sess = resolve_session(session)
+
+        def _builder(l):
+            if self.backend != "batched":
+                return None
+            from .batched import mlp_layer_trace_builder
+            return mlp_layer_trace_builder(self, l, machine)
+
         preds = [
             sess.predict(self.layers[l].gemm.gemm_loop,
                          self._layer_sim_body(l, machine), machine,
                          sample_threads=sample_threads,
                          total_flops=float(self.layers[l].gemm.flops),
-                         body_key=self._layer_body_key(l, machine))
+                         body_key=self._layer_body_key(l, machine),
+                         trace_builder=_builder(l))
             for l in range(len(self.layers))
         ]
         seconds = sum(p.seconds for p in preds)

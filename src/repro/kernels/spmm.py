@@ -34,7 +34,8 @@ class ParlooperSpmm:
                  dtype: DType = DType.F32, b_vnni: int = 1,
                  spec_string: str = DEFAULT_SPMM_SPEC,
                  num_threads: int | None = None,
-                 block_steps=((), ())):
+                 block_steps=((), ()),
+                 backend: str = "interp"):
         divisible(N, bn, "N")
         self.a = a
         self.N = N
@@ -50,7 +51,8 @@ class ParlooperSpmm:
         self.spmm_loop = ThreadedLoop(
             [LoopSpecs(0, a.n_block_rows, 1, block_steps[0]),
              LoopSpecs(0, self.Nb, 1, block_steps[1])],
-            spec_string, num_threads=num_threads)
+            spec_string, num_threads=num_threads, backend=backend)
+        self.backend = self.spmm_loop.backend
         self.num_threads = self.spmm_loop.num_threads
         self._sim_bodies: dict = {}
         # the body walks A's nonzero structure, which no shape tuple can
@@ -70,6 +72,14 @@ class ParlooperSpmm:
 
     # -- functional -------------------------------------------------------
     def __call__(self, B: np.ndarray, C: np.ndarray) -> np.ndarray:
+        if self.backend == "batched":
+            from .batched import (record_backend_outcome, run_spmm_batched,
+                                  spmm_batched_ok)
+            ok, reason = spmm_batched_ok(self)
+            if ok:
+                record_backend_outcome("spmm", "lowered")
+                return run_spmm_batched(self, B, C)
+            record_backend_outcome("spmm", "fallback", reason)
         bm = self.a.bm
 
         def body(ind):
@@ -137,11 +147,15 @@ class ParlooperSpmm:
 
         Scored in *effective* (dense-equivalent) flops, like Fig 8."""
         from ..session import resolve_session
+        builder = None
+        if self.backend == "batched":
+            from .batched import spmm_trace_builder
+            builder = spmm_trace_builder(self, machine)
         return resolve_session(session).predict(
             self.spmm_loop, self._cached_sim_body(machine), machine,
             sample_threads=sample_threads,
             total_flops=float(self.effective_flops),
-            body_key=self._body_key(machine))
+            body_key=self._body_key(machine), trace_builder=builder)
 
     def effective_gflops(self, machine: MachineModel, session=None) -> float:
         """Dense-equivalent throughput (Fig 8 y-axis)."""

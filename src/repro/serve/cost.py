@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from .._compat import renamed_kwarg
 from ..baselines.stacks import STACKS
+from ..obs.context import current as _obs
 from ..platform.machine import MachineModel
 from ..tpp.dtypes import DType
 from ..workloads.llm import LlmConfig
@@ -35,10 +36,17 @@ class ServeCostModel(OpCostModel):
     config: LlmConfig = None
     dtype: DType = DType.BF16
 
+    #: bound on memoized step signatures (FIFO eviction); a steady-state
+    #: serving run cycles through far fewer distinct batch shapes
+    STEP_CACHE_MAX = 4096
+
     def __post_init__(self):
         super().__post_init__()
         if self.config is None:
             raise ValueError("ServeCostModel needs an LlmConfig")
+        # batch-signature -> (head, eltwise, lm-head) partial sums; see
+        # step_seconds
+        self._step_cache: dict = {}
 
     @staticmethod
     def _round(dim: int) -> int:
@@ -92,6 +100,13 @@ class ServeCostModel(OpCostModel):
         (prior context > 0 means chunked prefill re-attending cached KV);
         ``decode_contexts`` — cached positions per decoding sequence;
         ``n_emit`` — sequences sampling a token this step (LM head rows).
+
+        Memoized on the batch *shape signature* (prefill chunk shapes,
+        decode count, emit count): every term except the decode KV-cache
+        stream depends only on the signature, so a steady-state serving
+        run re-prices only the KV bandwidth per step.  The partial sums
+        are cached, not the result, keeping the accumulation order — and
+        hence the float result — identical to the unmemoized pass.
         """
         cfg, dt = self.config, self.dtype
         h, i, L = cfg.hidden, cfg.intermediate, cfg.layers
@@ -99,30 +114,47 @@ class ServeCostModel(OpCostModel):
             + [1] * len(decode_contexts)
         if not n_list:
             return 0.0
-        t = 0.0
-        # linear ops: ragged over the whole batch, weights shared
-        t += L * 3 * self.ragged_gemm_seconds(h, n_list, h, dt)   # QKV
-        t += L * self.ragged_gemm_seconds(h, n_list, h, dt)       # attn out
-        t += L * (cfg.mlp_matrices - 1) \
-            * self.ragged_gemm_seconds(i, n_list, h, dt)          # up(/gate)
-        t += L * self.ragged_gemm_seconds(h, n_list, i, dt)       # down
-        # attention: compute-shaped for prefill chunks ...
-        for (tk, ctx) in prefill_chunks:
-            if tk <= 0:
-                continue
-            t += L * self.batched_gemm_seconds(
-                tk, ctx + tk, cfg.head_dim, dt, count=2 * cfg.heads)
-            if ctx:
-                # chunked prefill re-streams the earlier chunks' KV
-                t += self.bandwidth_seconds(cfg.kv_bytes(ctx, dt))
+        sig = (tuple((int(tk), int(ctx)) for (tk, ctx) in prefill_chunks),
+               len(decode_contexts), int(n_emit))
+        cached = self._step_cache.get(sig)
+        obs = _obs()
+        if obs.enabled:
+            obs.inc("serve_price_cache",
+                    kind="hit" if cached is not None else "miss")
+        if cached is None:
+            head = 0.0
+            # linear ops: ragged over the whole batch, weights shared
+            head += L * 3 * self.ragged_gemm_seconds(h, n_list, h, dt)  # QKV
+            head += L * self.ragged_gemm_seconds(h, n_list, h, dt)  # attn out
+            head += L * (cfg.mlp_matrices - 1) \
+                * self.ragged_gemm_seconds(i, n_list, h, dt)       # up(/gate)
+            head += L * self.ragged_gemm_seconds(h, n_list, i, dt)  # down
+            # attention: compute-shaped for prefill chunks ...
+            for (tk, ctx) in prefill_chunks:
+                if tk <= 0:
+                    continue
+                head += L * self.batched_gemm_seconds(
+                    tk, ctx + tk, cfg.head_dim, dt, count=2 * cfg.heads)
+                if ctx:
+                    # chunked prefill re-streams the earlier chunks' KV
+                    head += self.bandwidth_seconds(cfg.kv_bytes(ctx, dt))
+            elt = L * self.eltwise_seconds(sum(n_list) * (2 * h + i), dt,
+                                           3.0, n_ops=4)
+            lm = (self.gemm_seconds(cfg.vocab, n_emit, h, dt)
+                  if n_emit > 0 else 0.0)
+            cached = (head, elt, lm)
+            if len(self._step_cache) >= self.STEP_CACHE_MAX:
+                self._step_cache.pop(next(iter(self._step_cache)))
+            self._step_cache[sig] = cached
+        head, elt, lm = cached
+        t = head
         # ... bandwidth-shaped for decode (GEMV over the KV cache)
         if decode_contexts:
             kv_positions = sum(decode_contexts) + len(decode_contexts)
             t += self.bandwidth_seconds(cfg.kv_bytes(kv_positions, dt))
-        t += L * self.eltwise_seconds(sum(n_list) * (2 * h + i), dt, 3.0,
-                                      n_ops=4)
+        t += elt
         if n_emit > 0:
-            t += self.gemm_seconds(cfg.vocab, n_emit, h, dt)      # LM head
+            t += lm                                           # LM head
         return t
 
     def decode_step_seconds(self, contexts) -> float:

@@ -75,7 +75,8 @@ class _RunState:
 
     __slots__ = ("reqs", "i", "waiting", "running", "retry_heap", "now",
                  "steps", "max_steps", "degraded", "hot", "cool",
-                 "metrics", "obs", "timing", "admit_ts", "sched_ts")
+                 "metrics", "obs", "timing", "admit_ts", "sched_ts",
+                 "decode_buf", "prefill_buf", "chunk_buf", "ctx_buf")
 
     def __init__(self, metrics, obs, timing, max_steps):
         self.reqs: list = []        # arrival-sorted; [:i] already admitted
@@ -83,6 +84,12 @@ class _RunState:
         self.waiting: list = []
         self.running: list = []
         self.retry_heap: list = []  # (due_s, rid, request)
+        # per-step scratch, reused across every advance() so the steady-
+        # state loop allocates no fresh batch containers
+        self.decode_buf: list = []
+        self.prefill_buf: list = []
+        self.chunk_buf: list = []
+        self.ctx_buf: list = []
         self.now = 0.0
         self.steps = 0
         self.max_steps = max_steps
@@ -355,7 +362,8 @@ class ServeSimulator:
         plan = self.batcher.plan(running, waiting, token_budget=budget)
 
         # secure a block for every decode (preempting if needed) ...
-        decode = []
+        decode = st.decode_buf
+        del decode[:]
         for req in plan.decode:
             if req.state is RequestState.PREEMPTED:
                 continue                   # lost its cache this step
@@ -363,7 +371,8 @@ class ServeSimulator:
                                    waiting, metrics, protect=decode):
                 decode.append(req)
         # ... and blocks for prefill chunks (deferred if pool is full)
-        prefill = []
+        prefill = st.prefill_buf
+        del prefill[:]
         for req, chunk in plan.prefill:
             target = req.total_tokens if self.batcher.reserve_full \
                 else req.cached + chunk
@@ -406,13 +415,19 @@ class ServeSimulator:
                 snapshot=self._snapshot(now, st.steps, waiting, running,
                                         metrics))
 
-        # price the step and advance the clock
-        chunks = [(c, req.cached) for req, c, _ in prefill]
+        # price the step and advance the clock (scratch buffers reused;
+        # the memoized cost model re-prices only the decode KV stream)
+        chunks = st.chunk_buf
+        del chunks[:]
+        for req, c, _ in prefill:
+            chunks.append((c, req.cached))
+        contexts = st.ctx_buf
+        del contexts[:]
+        for r in decode:
+            contexts.append(r.cached)
         n_emit = len(decode) + sum(1 for req, _, completing in prefill
                                    if completing and req.generated == 0)
-        dt = self.cost.step_seconds(chunks,
-                                    [r.cached for r in decode],
-                                    n_emit)
+        dt = self.cost.step_seconds(chunks, contexts, n_emit)
         failed = False
         if fplan is not None:
             mult = fplan.multiplier(now)   # stragglers stretch steps

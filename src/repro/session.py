@@ -116,14 +116,21 @@ class Session:
     # -- core -------------------------------------------------------------
     def compile(self, specs, spec_string: str,
                 num_threads: int | None = None,
-                execution: str = "serial") -> ThreadedLoop:
+                execution: str = "serial",
+                backend: str = "interp") -> ThreadedLoop:
         """Build (or fetch from this session's nest cache) a
-        :class:`~repro.core.threaded_loop.ThreadedLoop`."""
+        :class:`~repro.core.threaded_loop.ThreadedLoop`.
+
+        ``backend="batched"`` marks the loop for tile-level batched
+        execution (see :mod:`repro.kernels.batched`); kernels holding
+        the loop dispatch accordingly and fall back to the interpreter
+        when :func:`repro.core.batched.batchable` says no."""
         with self.activate():
             return ThreadedLoop(specs, spec_string,
                                 num_threads=num_threads,
                                 execution=execution,
-                                cache=self.nest_cache)
+                                cache=self.nest_cache,
+                                backend=backend)
 
     # -- simulator ---------------------------------------------------------
     def _resolve_machine(self, machine):
@@ -136,15 +143,21 @@ class Session:
 
     def predict(self, loop, sim_body, machine=None,
                 sample_threads: int | None = None,
-                total_flops: float | None = None, body_key=None):
+                total_flops: float | None = None, body_key=None,
+                trace_builder=None):
         """Box-B3 performance prediction through the session's memoized
-        trace cache (:func:`repro.simulator.perfmodel.predict`)."""
+        trace cache (:func:`repro.simulator.perfmodel.predict`).
+
+        *trace_builder* (``tid -> CompiledTrace``) captures traces
+        vectorized instead of interpreting the nest; kernels pass their
+        builders automatically when built with ``backend="batched"``."""
         with self.activate():
             return _predict(loop, sim_body, self._resolve_machine(machine),
                             sample_threads=sample_threads,
                             total_flops=total_flops,
                             trace_cache=self.trace_cache,
-                            body_key=body_key)
+                            body_key=body_key,
+                            trace_builder=trace_builder)
 
     def simulate(self, loop, sim_body, machine=None,
                  dispatch_overhead: bool = True, body_key=None):

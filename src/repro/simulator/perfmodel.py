@@ -53,7 +53,8 @@ class PerfPrediction:
 def predict(loop: ThreadedLoop, sim_body, machine: MachineModel,
             sample_threads: int | None = None,
             total_flops: float | None = None,
-            trace_cache=None, body_key=None) -> PerfPrediction:
+            trace_cache=None, body_key=None,
+            trace_builder=None) -> PerfPrediction:
     """Model the performance of *loop* on *machine*.
 
     ``sim_body(ind)`` describes the per-invocation work (see
@@ -76,6 +77,10 @@ def predict(loop: ThreadedLoop, sim_body, machine: MachineModel,
     fall back to the LRU replay.  ``sim_body`` must be a pure function of
     ``ind``; pass a stable *body_key* when the closure is rebuilt per
     call.
+
+    *trace_builder* (``tid -> CompiledTrace``, requires *trace_cache*)
+    captures traces vectorized instead of interpreting the nest — see
+    :meth:`~repro.simulator.memo.TraceCache.compiled_thread_trace`.
     """
     with _obs().span("predict", spec=loop.spec_string,
                      machine=machine.name,
@@ -83,7 +88,7 @@ def predict(loop: ThreadedLoop, sim_body, machine: MachineModel,
         if trace_cache is not None:
             return _predict_memoized(loop, sim_body, machine,
                                      sample_threads, total_flops,
-                                     trace_cache, body_key)
+                                     trace_cache, body_key, trace_builder)
         if sample_threads is not None and sample_threads < loop.num_threads:
             step = max(1, loop.num_threads // sample_threads)
             tids = list(range(0, loop.num_threads, step))[:sample_threads]
@@ -178,7 +183,7 @@ def predict_traces(traces, machine: MachineModel, num_threads: int,
 
 def _predict_memoized(loop: ThreadedLoop, sim_body, machine: MachineModel,
                       sample_threads, total_flops, trace_cache,
-                      body_key) -> PerfPrediction:
+                      body_key, trace_builder=None) -> PerfPrediction:
     """The memoized + vectorized twin of :func:`predict`.
 
     Same tid selection, same extrapolation arithmetic; replay goes
@@ -198,7 +203,8 @@ def _predict_memoized(loop: ThreadedLoop, sim_body, machine: MachineModel,
         tids = list(range(num_threads))
     try:
         compiled = [trace_cache.compiled_thread_trace(loop, sim_body, tid,
-                                                      body_key=body_key)
+                                                      body_key=body_key,
+                                                      builder=trace_builder)
                     for tid in tids]
         pred = _predict_compiled(compiled, machine, num_threads)
     except ValueError:

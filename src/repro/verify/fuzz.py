@@ -26,6 +26,14 @@ kernel family (GEMM / MLP / conv / SpMM) and cross-checks three oracles:
 Case counts default to :data:`DEFAULT_CASES` and are overridden by the
 ``REPRO_FUZZ_CASES`` environment variable (the CI fuzz job runs ~200 per
 family); all randomness is seeded, so failures replay.
+
+With ``REPRO_FUZZ_BACKEND=batched`` every exact-match case additionally
+runs a **backend oracle**: the same kernel built with
+``backend="batched"`` must reproduce the serial reference bit-exactly
+(through the tile-level executor where eligible, through its interpreter
+fallback otherwise), and its vectorized trace builder must emit
+:class:`~repro.simulator.reuse.CompiledTrace`\\ s whose digests equal
+the interpreter-captured ones for every thread.
 """
 
 from __future__ import annotations
@@ -46,7 +54,7 @@ from .coverage import check_coverage
 from .races import detect_races
 
 __all__ = ["FuzzFamily", "FuzzResult", "default_families", "fuzz_family",
-           "run_fuzz", "dump_failures", "DEFAULT_CASES"]
+           "run_fuzz", "dump_failures", "fuzz_backend", "DEFAULT_CASES"]
 
 DEFAULT_CASES = 30
 _SCHEDULES = ("", "", "schedule(static)", "schedule(static,2)",
@@ -87,6 +95,7 @@ class FuzzResult:
     racy: int = 0              # valid specs flagged racy (numerics skipped)
     hazards: int = 0           # valid specs with barrier deadlock hazards
     rejected: int = 0          # near-valid specs rejected with a span
+    backend_checked: int = 0   # cases the batched-backend oracle also ran
     mismatches: list = field(default_factory=list)        # (spec, why)
     coverage_failures: list = field(default_factory=list)  # (spec, why)
     span_failures: list = field(default_factory=list)      # (spec, why)
@@ -100,7 +109,10 @@ class FuzzResult:
         return self.mismatches + self.coverage_failures + self.span_failures
 
     def describe(self) -> str:
-        return (f"{self.family}: {self.cases} cases | {self.passed} exact, "
+        backend = (f", {self.backend_checked} backend-checked"
+                   if self.backend_checked else "")
+        return (f"{self.family}: {self.cases} cases | {self.passed} exact"
+                f"{backend}, "
                 f"{self.racy} racy, {self.hazards} barrier hazards, "
                 f"{self.rejected} near-valid rejected | "
                 f"{len(self.mismatches)} numeric mismatches, "
@@ -113,6 +125,25 @@ class FuzzResult:
 def _int_array(rng, shape):
     """Small-integer float32 values: exact under any summation order."""
     return rng.integers(-2, 3, size=shape).astype(np.float32)
+
+
+def fuzz_backend() -> str:
+    """The backend oracle selector (``REPRO_FUZZ_BACKEND``); empty means
+    the classic interp-only differential run."""
+    return os.environ.get("REPRO_FUZZ_BACKEND", "").strip()
+
+
+def _digest_pairs(loop, sim_body, builder) -> list:
+    """Per-tid ``(interpreted digest, builder digest)`` pairs — the
+    trace-equivalence half of the backend oracle."""
+    from ..simulator.memo import TraceCache
+    from ..simulator.reuse import compile_trace
+    tc = TraceCache()
+    return [
+        (compile_trace(tc.thread_trace(loop, sim_body, tid)).digest(),
+         builder(tid).digest())
+        for tid in range(loop.num_threads)
+    ]
 
 
 def _gemm_family(name: str = "gemm", mlp: bool = False) -> FuzzFamily:
@@ -129,6 +160,19 @@ def _gemm_family(name: str = "gemm", mlp: bool = False) -> FuzzFamily:
             LoopSpecs(0, N // blk, 1))
 
     def build(spec, block_steps, num_threads, execution):
+        if execution == "batched":
+            kern = ParlooperGemm(
+                M, N, K, blk, blk, blk, k_step=1,
+                spec_string=spec, num_threads=num_threads,
+                block_steps=block_steps or ((), (), ()),
+                activation="relu" if mlp else "none", bias=mlp,
+                backend="batched")
+            from ..kernels.batched import gemm_trace_builder
+            builder = gemm_trace_builder(kern, SPR,
+                                         kern._conflict_scale())
+            return (kern.gemm_loop, lambda: kern.run_flat(a, b, bias),
+                    lambda: _digest_pairs(kern.gemm_loop,
+                                          kern.sim_body(SPR), builder))
         kern = ParlooperGemm(
             M, N, K, blk, blk, blk, k_step=1,
             spec_string=_serialize_spec(spec),
@@ -157,6 +201,18 @@ def _conv_family() -> FuzzFamily:
             LoopSpecs(0, cs.R, cs.R), LoopSpecs(0, cs.S, cs.S))
 
     def build(spec, block_steps, num_threads, execution):
+        if execution == "batched":
+            kern = ParlooperConv(cs, bc=16, bk=16, w_step=w_step,
+                                 spec_string=spec,
+                                 num_threads=num_threads,
+                                 block_steps=list(block_steps)
+                                 if block_steps else None,
+                                 backend="batched")
+            from ..kernels.batched import conv_trace_builder
+            builder = conv_trace_builder(kern, SPR)
+            return (kern.conv_loop, lambda: kern.run(x, wt),
+                    lambda: _digest_pairs(kern.conv_loop,
+                                          kern.sim_body(SPR), builder))
         kern = ParlooperConv(cs, bc=16, bk=16, w_step=w_step,
                              spec_string=_serialize_spec(spec),
                              block_steps=list(block_steps)
@@ -186,6 +242,16 @@ def _spmm_family() -> FuzzFamily:
     base = (LoopSpecs(0, amat.n_block_rows, 1), LoopSpecs(0, 4, 1))
 
     def build(spec, block_steps, num_threads, execution):
+        if execution == "batched":
+            kern = ParlooperSpmm(amat, 64, bn=16, spec_string=spec,
+                                 num_threads=num_threads,
+                                 block_steps=block_steps or ((), ()),
+                                 backend="batched")
+            from ..kernels.batched import spmm_trace_builder
+            builder = spmm_trace_builder(kern, SPR)
+            return (kern.spmm_loop, lambda: kern.run(bmat),
+                    lambda: _digest_pairs(kern.spmm_loop,
+                                          kern.sim_body(SPR), builder))
         kern = ParlooperSpmm(amat, 64, bn=16,
                              spec_string=_serialize_spec(spec),
                              block_steps=block_steps or ((), ()))
@@ -330,6 +396,49 @@ def _run_valid_case(family: FuzzFamily, spec: str, blocks, num_threads,
         res.mismatches.append(
             (spec, f"serial vs threads max abs diff {diff} "
                    f"(no race was reported)"))
+        return
+
+    if fuzz_backend() == "batched" and "|" not in spec:
+        # barrier specs cannot instantiate on the serial nest the batched
+        # build uses (serial emulation cannot interleave); the executor
+        # falls back for them anyway, so there is nothing to cross-check
+        _run_batched_oracle(family, spec, blocks, num_threads, ref, res)
+
+
+def _run_batched_oracle(family: FuzzFamily, spec: str, blocks, num_threads,
+                        ref, res: FuzzResult) -> None:
+    """The ``REPRO_FUZZ_BACKEND=batched`` oracle: the batched backend
+    (tile-level executor or its interpreter fallback) must match the
+    serial reference bit-exactly, and the vectorized trace builder must
+    emit digests equal to the interpreter-captured compiled traces."""
+    try:
+        _loop, run, digest_pairs = family.build(spec, blocks, num_threads,
+                                                "batched")
+        out = run()
+    except Exception as exc:  # noqa: BLE001 - any escape is a finding
+        res.mismatches.append(
+            (spec, f"batched backend raised {type(exc).__name__}: {exc}"))
+        return
+    if not np.array_equal(ref, out):
+        diff = float(np.max(np.abs(
+            np.asarray(ref, dtype=np.float64) - np.asarray(out, np.float64))))
+        res.mismatches.append(
+            (spec, f"serial vs batched backend max abs diff {diff}"))
+        return
+    try:
+        pairs = digest_pairs()
+    except Exception as exc:  # noqa: BLE001 - any escape is a finding
+        res.mismatches.append(
+            (spec, f"trace builder raised {type(exc).__name__}: {exc}"))
+        return
+    for tid, (d_ref, d_built) in enumerate(pairs):
+        if d_ref != d_built:
+            res.mismatches.append(
+                (spec, f"compiled-trace digest diverges for tid {tid}: "
+                       f"interpreted {d_ref[:12]} != builder "
+                       f"{d_built[:12]}"))
+            return
+    res.backend_checked += 1
 
 
 def _run_invalid_case(family: FuzzFamily, spec: str,

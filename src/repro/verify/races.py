@@ -33,11 +33,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..core.threaded_loop import ThreadedLoop
 from ..simulator.trace import BarrierMarker, BodyEvent, ChunkMarker, \
     trace_threaded_loop
 
-__all__ = ["RaceReport", "detect_races"]
+__all__ = ["RaceReport", "detect_races", "detect_races_compiled"]
 
 #: at most this many reports per kind are materialized (a racy reduction
 #: conflicts on *every* output block; one report per block is noise)
@@ -162,6 +164,17 @@ def detect_races(loop: ThreadedLoop, sim_body) -> list:
                     table.setdefault((epoch, acc.key), {}) \
                         .setdefault(unit, e.ind)
 
+    reports.extend(_conflict_pass(writers, readers, par_chars,
+                                  loop.spec_string))
+    return reports
+
+
+def _conflict_pass(writers: dict, readers: dict, par_chars: tuple,
+                   spec_string: str) -> list:
+    """The shared W-W / R-W pass over ``(epoch, key) -> {unit: ind}``
+    tables — deterministic report order regardless of how the tables
+    were populated (interpreted or compiled traces)."""
+    reports: list[RaceReport] = []
     ww = rw = 0
     for (epoch, key), wmap in sorted(writers.items(),
                                      key=lambda kv: (kv[0][0],
@@ -172,7 +185,7 @@ def detect_races(loop: ThreadedLoop, sim_body) -> list:
             a, b = wunits[0], wunits[1]
             reports.append(_conflict_report(
                 "WW", key, epoch, a, wmap[a], b, wmap[b], par_chars,
-                loop.spec_string))
+                spec_string))
         rmap = readers.get((epoch, key), {})
         runits = sorted((u for u in rmap if u not in wmap), key=repr)
         if runits and rw < MAX_REPORTS_PER_KIND:
@@ -180,5 +193,54 @@ def detect_races(loop: ThreadedLoop, sim_body) -> list:
             a, b = wunits[0], runits[0]
             reports.append(_conflict_report(
                 "RW", key, epoch, a, wmap[a], b, rmap[b], par_chars,
-                loop.spec_string))
+                spec_string))
     return reports
+
+
+def detect_races_compiled(loop: ThreadedLoop, compiled_traces) -> list:
+    """:func:`detect_races` over builder-emitted
+    :class:`~repro.simulator.reuse.CompiledTrace`\\ s — no nest replay.
+
+    Accepts only plans the single-epoch/per-thread-unit model covers
+    exactly: no barriers (every access would be epoch 0 anyway, but
+    barrier *hazard* checks need the interpreted path) and no dynamic
+    worksharing (whose per-chunk concurrency units need chunk markers).
+    Raises ``ValueError`` otherwise, or when a trace lacks the
+    ``event_ind`` index vectors; callers fall back to
+    :func:`detect_races`.  For eligible plans the reports are
+    element-for-element those of the interpreted detector.
+    """
+    plan = loop.plan
+    if plan.has_barriers:
+        raise ValueError(
+            "compiled race detection cannot certify barrier semantics; "
+            "use detect_races")
+    if plan.parsed.schedule == "dynamic" and plan.parsed.collapse_groups():
+        raise ValueError(
+            "dynamic worksharing needs per-chunk concurrency units; "
+            "use detect_races")
+    if loop.num_threads <= 1 or plan.par_mode == 0:
+        return []
+    par_chars = tuple(sorted({t.char for t in plan.parsed.tokens
+                              if t.parallel}))
+    writers: dict = {}
+    readers: dict = {}
+    for ct in compiled_traces:
+        if ct.event_ind is None:
+            raise ValueError(
+                f"compiled trace for tid {ct.tid} has no event_ind; only "
+                "builder-emitted traces carry iteration attribution")
+        unit = ("tid", ct.tid)
+        for table, sel in ((writers, np.nonzero(ct.write)[0]),
+                           (readers, np.nonzero(~ct.write)[0])):
+            if not sel.size:
+                continue
+            # first chronological access per key with this write-ness
+            _ids, first = np.unique(ct.key_ids[sel], return_index=True)
+            for fi in first:
+                acc = int(sel[fi])
+                key = ct.keys[int(ct.key_ids[acc])]
+                ind = tuple(int(v)
+                            for v in ct.event_ind[int(ct.event_of[acc])])
+                table.setdefault((0, key), {}).setdefault(unit, ind)
+    return _conflict_pass(writers, readers, par_chars, loop.spec_string)

@@ -1,0 +1,57 @@
+"""The num_threads == 1 inline fast path: no NestContext (and its
+per-invocation Lock) is constructed, and semantics are unchanged."""
+
+import pytest
+
+from repro.core import LoopSpecs, ThreadedLoop
+from repro.core import runtime
+
+
+def _visits(loop):
+    out = []
+    loop(lambda ind: out.append(tuple(ind)))
+    return out
+
+
+class _Boom:
+    def __init__(self, *a, **kw):
+        raise AssertionError("NestContext constructed on the nt==1 path")
+
+
+class TestInlineFastPath:
+    @pytest.mark.parametrize("spec", [
+        "ab", "Ab", "aBb", "ab @ schedule(dynamic,2)",
+        "AB @ schedule(dynamic)", "AB @ schedule(static,3)",
+    ])
+    def test_single_thread_skips_nest_context(self, spec, monkeypatch):
+        monkeypatch.setattr(runtime, "NestContext", _Boom)
+        blocks = ((), (2,)) if "Bb" in spec else ((), ())
+        loop = ThreadedLoop([LoopSpecs(0, 4, 1, blocks[0]),
+                             LoopSpecs(0, 6, 1, blocks[1])],
+                            spec, num_threads=1)
+        assert sorted(_visits(loop)) \
+            == [(i, j) for i in range(4) for j in range(6)]
+
+    def test_multi_thread_still_uses_nest_context(self, monkeypatch):
+        monkeypatch.setattr(runtime, "NestContext", _Boom)
+        loop = ThreadedLoop([LoopSpecs(0, 4, 1), LoopSpecs(0, 6, 1)],
+                            "Ab", num_threads=2)
+        with pytest.raises(AssertionError, match="nt==1 path"):
+            loop(lambda ind: None)
+
+    def test_inline_matches_serial_order(self):
+        """Same emission order as the plain serialized nest — the fast
+        path may skip locks and barriers, never reorder iterations."""
+        for spec in ("ab", "Ab", "AB @ schedule(dynamic,2)"):
+            one = ThreadedLoop([LoopSpecs(0, 4, 1), LoopSpecs(0, 6, 1)],
+                               spec, num_threads=1)
+            ref = ThreadedLoop([LoopSpecs(0, 4, 1), LoopSpecs(0, 6, 1)],
+                               "ab", num_threads=1)
+            assert _visits(one) == _visits(ref)
+
+    def test_dynamic_counters_fresh_per_invocation(self):
+        # _InlineContext is per-run state: a second invocation must
+        # re-visit every chunk, not find the counters exhausted
+        loop = ThreadedLoop([LoopSpecs(0, 4, 1), LoopSpecs(0, 6, 1)],
+                            "AB @ schedule(dynamic,2)", num_threads=1)
+        assert _visits(loop) == _visits(loop)

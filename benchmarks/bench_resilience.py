@@ -29,6 +29,16 @@ DEADLINE_S = 3.0
 FAULT_SEEDS = (1, 2, 3, 4, 5)
 TRAFFIC_SEED = 42
 
+# engine anchors + step-price memos, warmed once and shared by every
+# simulator this module builds (the bench_fleet idiom)
+COSTS: dict = {}
+
+
+def _cost(machine):
+    if machine.name not in COSTS:
+        COSTS[machine.name] = ServeCostModel.for_stack(GPTJ_6B, machine)
+    return COSTS[machine.name]
+
 
 def _traffic():
     reqs = TrafficGenerator(rate_rps=RATE_RPS, seed=TRAFFIC_SEED,
@@ -60,7 +70,7 @@ def test_resilience_goodput(benchmark):
         "Resilience — GPT-J-6B on SPR, goodput under injected faults",
         ["fault seed", "server", "goodput (tok/s)", "tok/s", "finished",
          "timed out", "cancelled", "shed", "retries", "step fails"])
-    cost = ServeCostModel.for_stack(GPTJ_6B, SPR)
+    cost = _cost(SPR)
     results = {}
     for seed in FAULT_SEEDS:
         for hardened in (False, True):

@@ -34,11 +34,17 @@ __all__ = ["NestCache", "global_nest_cache", "quarantine_corrupt"]
 def quarantine_corrupt(path: str) -> str:
     """Move a corrupt persisted-cache file out of the way.
 
-    Renames *path* to ``<path>.corrupt`` (overwriting any previous
-    quarantine of the same file) so the next run starts from an empty
-    cache instead of tripping over the same bad bytes, while keeping
-    the evidence around for diagnosis."""
+    Renames *path* to ``<path>.corrupt`` — or ``<path>.corrupt.N`` for
+    the first free ``N`` when earlier quarantines exist — so the next
+    run starts from an empty cache instead of tripping over the same
+    bad bytes, while keeping *every* piece of evidence around for
+    diagnosis (repeated corruption of the same file is itself a
+    finding, e.g. a bad core flipping bits on the write path)."""
     quarantined = path + ".corrupt"
+    n = 0
+    while os.path.exists(quarantined):
+        n += 1
+        quarantined = f"{path}.corrupt.{n}"
     os.replace(path, quarantined)
     return quarantined
 
@@ -126,8 +132,9 @@ class NestCache:
 
         A corrupt file (truncated write, bad JSON, or a payload that is
         not the expected ``{key: source}`` dict) is *quarantined* —
-        renamed to ``<path>.corrupt`` with a warning — and the cache
-        starts empty instead of crashing the run."""
+        renamed to ``<path>.corrupt`` (``.corrupt.N`` when earlier
+        evidence exists) with a warning — and the cache starts empty
+        instead of crashing the run."""
         try:
             with open(path) as fh:
                 loaded = json.load(fh)

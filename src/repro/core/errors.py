@@ -9,7 +9,8 @@ guard constructor inputs with ``except ValueError`` keep working.
 
 __all__ = [
     "ParlooperError", "SpecError", "ExecutionError", "VerificationError",
-    "ServeError", "ServeConfigError", "DeadlockError", "StepBudgetError",
+    "SdcDetectedError", "ServeError", "ServeConfigError", "DeadlockError",
+    "StepBudgetError",
 ]
 
 
@@ -81,6 +82,20 @@ class VerificationError(ParlooperError):
     def __init__(self, message: str, reports=()):
         super().__init__(message)
         self.reports = tuple(reports)
+
+
+class SdcDetectedError(ParlooperError):
+    """ABFT checksums found corruption the kernel could not (or, in
+    ``abft="detect"`` mode, was not asked to) repair.
+
+    ``check`` is the :class:`repro.kernels.abft.AbftCheck` that failed —
+    it names the offending rows/columns/sites and the residuals, so a
+    seeded corruption can be audited without re-running the kernel.
+    """
+
+    def __init__(self, message: str, check=None):
+        super().__init__(message)
+        self.check = check
 
 
 class ServeError(ParlooperError):

@@ -1,0 +1,45 @@
+"""Fault-injection registry for nest execution.
+
+The runtime and the batched executors need a way to hand each completed
+tile to an (optional) corruption injector without importing the
+resilience package — ``repro.resilience`` already imports serve/kernel
+modules, so a direct dependency here would be circular.  This module is
+the narrow waist: a single module-global slot holding the active
+injector, set and cleared by :func:`repro.resilience.sdc.sdc_injection`.
+
+An injector is any object with the protocol consumed by
+:mod:`repro.core.runtime` and :mod:`repro.kernels.batched`:
+
+* ``begin_call(locator)`` — a kernel announces one nest execution and
+  registers a ``locator(ind) -> ndarray | None`` mapping a body index
+  tuple to the output tile it finalised (``None`` when the index is not
+  a final write).  Returns the call index.
+* ``bind(body_func)`` — the runtime asks for a wrapped body; returns
+  ``None`` when the injector is not armed for this nest (e.g. a tuner
+  probe nest running inside the same context).
+* ``maybe_flip(tile, ind)`` — the batched executors offer each stored
+  tile directly.
+
+Everything here is dependency-free on purpose; keep it that way.
+"""
+
+__all__ = ["set_injector", "active_injector", "clear_injector"]
+
+_active = None
+
+
+def set_injector(injector) -> None:
+    """Install *injector* as the process-wide active injector."""
+    global _active
+    _active = injector
+
+
+def active_injector():
+    """Return the active injector, or ``None`` when nothing is armed."""
+    return _active
+
+
+def clear_injector() -> None:
+    """Remove the active injector (idempotent)."""
+    global _active
+    _active = None

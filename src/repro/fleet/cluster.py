@@ -161,6 +161,11 @@ class FleetSummary:
     n_breaker_opens: int = 0
     #: retry-budget tokens spent (== n_hedges + n_guard_retries)
     retry_budget_spent: int = 0
+    # -- silent-data-corruption accounting (repro.resilience.sdc) ------
+    n_sdc_detected: int = 0
+    n_sdc_corrected: int = 0
+    n_sdc_recomputed: int = 0
+    n_sdc_silent: int = 0
 
     @property
     def n_terminal(self) -> int:
@@ -281,6 +286,8 @@ class FleetSimulator:
             resilience=self.resilience,
             faults=(self.faults.plan_for(replica.id)
                     if self.faults is not None else None),
+            sdc=(self.faults.sdc_for(replica.id)
+                 if self.faults is not None else None),
             obs=self._obs, replica_id=replica.id)
         replica.sim.begin(max_steps=max_steps)
         replica.state = ReplicaState.ACTIVE
@@ -648,6 +655,10 @@ class FleetSimulator:
             peak_kv_occupancy=max(
                 (rep.summary.peak_kv_occupancy for rep in reports),
                 default=0.0),
+            n_sdc_detected=total("n_sdc_detected"),
+            n_sdc_corrected=total("n_sdc_corrected"),
+            n_sdc_recomputed=total("n_sdc_recomputed"),
+            n_sdc_silent=total("n_sdc_silent"),
             n_hedges=guard.n_hedges if guard is not None else 0,
             n_hedge_wins=guard.n_hedge_wins if guard is not None else 0,
             n_guard_retries=(guard.n_guard_retries

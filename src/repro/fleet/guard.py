@@ -306,7 +306,8 @@ class FleetGuard:
         self._outstanding: dict = {}    # rid -> [req, replica_id, routed_at]
         self._hedged: set = set()       # rids that already hedged once
         self._ttfts: list = []          # observed TTFT ring buffer
-        self._prev: dict = {}           # rid -> (n_timed_out, n_finished)
+        # rid -> (n_timed_out, n_finished, n_sdc) at the last probe
+        self._prev: dict = {}
         self._obs = obs if obs is not None and obs.metrics.enabled \
             else None
 
@@ -319,7 +320,7 @@ class FleetGuard:
     def activate(self, rid: int, now_s: float) -> None:
         """A fresh incarnation started on slot *rid*."""
         self.monitor.activate(rid, now_s)
-        self._prev[rid] = (0, 0)
+        self._prev[rid] = (0, 0, 0)
         self.breaker_for(rid)
 
     def _allowed(self, rid: int, now_s: float) -> bool:
@@ -387,13 +388,16 @@ class FleetGuard:
             obs.set_gauge("fleet_retry_budget_tokens", self.budget.tokens)
 
     def _interval_bad(self, replica) -> bool:
-        """Did this replica time out work since the last probe round?"""
+        """Did this replica time out work — or surface silent data
+        corruption (a "bad core") — since the last probe round?"""
         m = replica.sim.live_metrics if replica.sim is not None else None
         if m is None:
             return False
-        prev_to, prev_fin = self._prev.get(replica.id, (0, 0))
-        self._prev[replica.id] = (m.n_timed_out, m.n_finished)
-        return m.n_timed_out > prev_to
+        sdc = m.n_sdc_detected + m.n_sdc_silent
+        prev_to, prev_fin, prev_sdc = self._prev.get(
+            replica.id, (0, 0, 0))
+        self._prev[replica.id] = (m.n_timed_out, m.n_finished, sdc)
+        return m.n_timed_out > prev_to or sdc > prev_sdc
 
     def _purge(self, now_s: float) -> None:
         """Retire tracked requests that got a first token (sampling

@@ -1,0 +1,323 @@
+"""Algorithm-based fault tolerance (ABFT) for the kernel layer.
+
+Huang–Abraham checksums (Huang & Abraham 1984) exploit the linearity of
+the kernels' contraction: for ``C = A x B`` the column sums of C must
+equal ``colsum(A) x B`` and its row sums ``A x rowsum(B)``.  A single
+corrupted element perturbs exactly one column residual and one row
+residual by the same amount, so it can be *located* (the intersection)
+and *corrected* (subtract the residual); corruption touching several
+rows/columns is still *detected*.  Conv and SpMM get output-checksum
+detection variants built on the same idea (sum over output channels /
+output rows against a reference computed from the inputs); the MLP
+applies the GEMM machinery per layer, deferring the fused bias/ReLU
+epilogue until the linear block is verified (the epilogue is not
+invertible, the linear part is).
+
+Everything is verified *post hoc* on the final packed output, in
+float64, so the checksum pass is a handful of ``O(MN + MK + KN)``
+reductions against the kernel's ``O(MNK)`` — the classic ~1/K overhead.
+
+Thresholds.  A float kernel's column sum legitimately drifts from the
+float64 reference by accumulated rounding, so each check carries a
+worst-case bound::
+
+    tau = safety * (eps_comp * (n_red + 4) * ref_abs
+                    + eps_store * (n_store + 1) * out_abs) + floor
+
+where ``ref_abs`` is the same checksum computed over |A|,|B| (bounding
+accumulation error), ``out_abs`` sums |C| (bounding store-time
+down-conversion, the BF16 term: ``eps_store = 2^-9`` for BF16 emulation
+vs ``2^-24`` for F32), ``n_red`` is the reduction length and
+``n_store`` the number of store-rounded partial writes per element.
+Being a worst-case bound it guarantees **zero false positives** on
+clean runs of either backend; on integer-valued tensors (the repo's
+bit-exactness idiom) every residual is *exactly* zero or exactly the
+injected delta, so detection and bit-exact correction are guaranteed
+there for any flip the thresholds can see (the default exponent-MSB
+flip moves any finite value by at least 2.0, or lands on Inf/NaN,
+which is always flagged).
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.errors import SdcDetectedError
+from ..obs.context import current as _obs
+from ..tpp.dtypes import DType, from_compute
+
+__all__ = ["ABFT_MODES", "resolve_abft", "AbftCheck", "SdcDetectedError",
+           "gemm_check", "gemm_correct_single", "conv_check", "spmm_check",
+           "record_abft_outcome"]
+
+#: valid values of the kernels' ``abft=`` knob
+ABFT_MODES = ("off", "detect", "correct")
+
+_SAFETY = 8.0
+_FLOOR = 1e-30
+_EPS_F32 = 2.0 ** -24
+_EPS_BF16 = 2.0 ** -9
+
+
+def resolve_abft(mode: str) -> str:
+    """Validate an ``abft=`` knob value."""
+    if mode not in ABFT_MODES:
+        raise ValueError(
+            f"unknown abft mode {mode!r}; expected one of {ABFT_MODES}")
+    return mode
+
+
+def record_abft_outcome(kernel: str, outcome: str) -> None:
+    """Count an ABFT verdict (detected/corrected/recomputed) on the obs
+    registry's ``sdc_events`` counter."""
+    obs = _obs()
+    if obs.enabled:
+        obs.inc("sdc_events", kernel=kernel, outcome=outcome)
+
+
+def _store_eps(dtype: DType) -> float:
+    return _EPS_BF16 if dtype == DType.BF16 else _EPS_F32
+
+
+def _tau(dtype: DType, n_red: int, n_store: int, ref_abs, out_abs):
+    return _SAFETY * (_EPS_F32 * (n_red + 4) * ref_abs
+                      + _store_eps(dtype) * (n_store + 1) * out_abs) \
+        + _FLOOR
+
+
+def _exceeds(residual, tau):
+    """Mask of residuals over threshold; non-finite always counts —
+    checked explicitly, because an Inf/NaN in the output inflates the
+    |C| term of *tau* to Inf, which would otherwise mask the very
+    corruption that produced it."""
+    res = np.abs(residual)
+    with np.errstate(invalid="ignore"):
+        return ~np.isfinite(res) | (res > tau)
+
+
+@dataclass
+class AbftCheck:
+    """Outcome of one checksum verification.
+
+    For GEMM, ``bad_rows`` / ``bad_cols`` are flat output coordinates
+    whose residual exceeded threshold; a single (row, col) pair means
+    the corruption is locatable and correctable.  Conv/SpMM detection
+    variants report offending ``sites`` instead (no location within the
+    summed-out axis, hence detect-only)."""
+
+    kind: str
+    corrupt: bool
+    bad_rows: tuple = ()
+    bad_cols: tuple = ()
+    sites: tuple = ()
+    col_residual: np.ndarray | None = field(default=None, repr=False)
+    row_residual: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def single(self) -> bool:
+        """Exactly one bad row and one bad column: locatable."""
+        return len(self.bad_rows) == 1 and len(self.bad_cols) == 1
+
+    def describe(self) -> str:
+        if not self.corrupt:
+            return f"{self.kind}: clean"
+        if self.kind == "gemm":
+            where = (f"rows {list(self.bad_rows)[:4]} x "
+                     f"cols {list(self.bad_cols)[:4]}")
+        elif self.sites:
+            where = f"sites {list(self.sites)[:4]}"
+        else:
+            where = f"cols {list(self.bad_cols)[:4]}"
+        return f"{self.kind}: corrupt at {where}"
+
+
+# ======================================================================
+# GEMM / BRGEMM (detect + locate + correct)
+# ======================================================================
+
+def _a_colsums(kern, A):
+    """Column checksums ``(colsum A, colsum |A|)`` of the packed A
+    operand, float64, cached per array on the kernel.
+
+    A GEMM's A side carries the *weights* in inference, reused call
+    after call — so the encoding is computed once, the classic ABFT
+    amortization.  The cache is keyed by array identity through a weak
+    reference (no id() reuse hazard) and assumes A is not mutated in
+    place between calls."""
+    cached = getattr(kern, "_abft_a_sums", None)
+    if cached is not None and cached[0]() is A:
+        return cached[1], cached[2]
+    colsum = A.sum(axis=(0, 2), dtype=np.float64)        # (Kb, bk)
+    colsum_abs = np.abs(A).sum(axis=(0, 2), dtype=np.float64)
+    kern._abft_a_sums = (weakref.ref(A), colsum, colsum_abs)
+    return colsum, colsum_abs
+
+
+def gemm_check(kern, A, B, C) -> AbftCheck:
+    """Huang–Abraham verification of a ParlooperGemm's *linear* output
+    (call before any deferred epilogue is applied).
+
+    The hot path is the column check alone — a single corrupted element
+    always perturbs its column residual by the full flip delta, so one
+    direction suffices for detection and costs ``O(MN + KN)`` against
+    the kernel's ``O(MNK)``.  The row side (needed only to *locate* the
+    element for in-place repair) is computed lazily once the column
+    side flags corruption.  All reductions accumulate in float64 via
+    ``dtype=`` / mixed-dtype einsum without materializing float64
+    copies of the operands (the astype temporaries used to dominate
+    the check's runtime)."""
+    colsum_A, colsum_absA = _a_colsums(kern, A)
+    absB = np.abs(B)
+    if kern.flat_b:                                      # B: (K, N)
+        ref_col = np.einsum("c,cn->n", colsum_A.reshape(-1), B)
+        ref_col_abs = np.einsum("c,cn->n", colsum_absA.reshape(-1),
+                                absB)
+    else:                                                # (Nb, Kb, bk, bn)
+        ref_col = np.einsum("kc,nkcb->nb", colsum_A, B).reshape(-1)
+        ref_col_abs = np.einsum("kc,nkcb->nb", colsum_absA,
+                                absB).reshape(-1)
+    col_C = C.sum(axis=(1, 2), dtype=np.float64).reshape(-1)   # (N,)
+    col_absC = np.abs(C).sum(axis=(1, 2), dtype=np.float64).reshape(-1)
+    col_r = col_C - ref_col
+    n_store = kern.Kb // kern.k_step
+    tau_col = _tau(kern.dtype, kern.K, n_store, ref_col_abs, col_absC)
+    bad_cols = np.nonzero(_exceeds(col_r, tau_col))[0]
+    if not bad_cols.size:
+        return AbftCheck(kind="gemm", corrupt=False, col_residual=col_r)
+
+    # corruption confirmed — compute the row side to locate it
+    if kern.flat_b:
+        rowsum_B = B.sum(axis=1, dtype=np.float64) \
+            .reshape(kern.Kb, kern.bk)
+        rowsum_absB = absB.sum(axis=1, dtype=np.float64) \
+            .reshape(kern.Kb, kern.bk)
+    else:
+        rowsum_B = B.sum(axis=(0, 3), dtype=np.float64)  # (Kb, bk)
+        rowsum_absB = absB.sum(axis=(0, 3), dtype=np.float64)
+    ref_row = np.einsum("mkac,kc->ma", A, rowsum_B).reshape(-1)
+    ref_row_abs = np.einsum("mkac,kc->ma", np.abs(A),
+                            rowsum_absB).reshape(-1)
+    row_C = C.sum(axis=(0, 3), dtype=np.float64).reshape(-1)   # (M,)
+    row_absC = np.abs(C).sum(axis=(0, 3), dtype=np.float64).reshape(-1)
+    row_r = row_C - ref_row
+    tau_row = _tau(kern.dtype, kern.K, n_store, ref_row_abs, row_absC)
+    bad_rows = np.nonzero(_exceeds(row_r, tau_row))[0]
+    return AbftCheck(kind="gemm", corrupt=True,
+                     bad_rows=tuple(int(i) for i in bad_rows),
+                     bad_cols=tuple(int(j) for j in bad_cols),
+                     col_residual=col_r, row_residual=row_r)
+
+
+def gemm_correct_single(kern, A, B, C, check: AbftCheck) -> None:
+    """Repair the single located element of packed *C* in place.
+
+    A finite residual is subtracted — float64 subtraction of the exact
+    injected delta restores the original stored float32 bit pattern.
+    A non-finite residual (the flip landed on Inf/NaN) carries no
+    magnitude, so the element is recomputed from A and B instead."""
+    i = check.bad_rows[0]
+    j = check.bad_cols[0]
+    mb, r = divmod(i, kern.bm)
+    nb, c = divmod(j, kern.bn)
+    d = float(check.col_residual[j])
+    if np.isfinite(d):
+        fixed = np.float64(C[nb, mb, r, c]) - d
+    else:
+        a_row = np.asarray(A[mb, :, r, :],
+                           dtype=np.float64).reshape(-1)       # (K,)
+        if kern.flat_b:
+            b_col = np.asarray(B[:, j], dtype=np.float64)
+        else:
+            b_col = np.asarray(B[nb, :, :, c],
+                               dtype=np.float64).reshape(-1)
+        fixed = a_row @ b_col
+    val = np.asarray(fixed, dtype=np.float32)
+    if kern.dtype == DType.BF16:
+        val = from_compute(val, kern.dtype)
+    C[nb, mb, r, c] = val
+
+
+# ======================================================================
+# Conv (detect)
+# ======================================================================
+
+def conv_check(kern, I, Wt, O) -> AbftCheck:
+    """Output-channel checksum detection for ParlooperConv: for every
+    output site (n, p, q), the sum over all K output channels must
+    equal the convolution of the input patch with the channel-summed
+    weights.  A flip in any single output element moves exactly one
+    site's checksum."""
+    sp = kern.spec
+    st = sp.stride
+    out = O.sum(axis=(1, 4), dtype=np.float64)   # (N, P, Q)
+    out_abs = np.abs(O).sum(axis=(1, 4), dtype=np.float64)
+    # channel-summed weights: computed once per weight tensor (weights
+    # are reused call after call in inference)
+    cached = getattr(kern, "_abft_w_sums", None)
+    if cached is not None and cached[0]() is Wt:
+        w_sum, w_abs = cached[1], cached[2]
+    else:
+        w_sum = Wt.sum(axis=(0, 5), dtype=np.float64)    # (Cb, R, S, bc)
+        w_abs = np.abs(Wt).sum(axis=(0, 5), dtype=np.float64)
+        kern._abft_w_sums = (weakref.ref(Wt), w_sum, w_abs)
+    I_abs = np.abs(I)
+    ref = np.zeros_like(out)
+    ref_abs = np.zeros_like(out)
+    for r in range(sp.R):
+        for s in range(sp.S):
+            patch = I[:, :, r:r + (sp.P - 1) * st + 1:st,
+                      s:s + (sp.Q - 1) * st + 1:st, :]
+            ref += np.einsum("ncpqb,cb->npq", patch, w_sum[:, r, s, :])
+            ref_abs += np.einsum(
+                "ncpqb,cb->npq",
+                I_abs[:, :, r:r + (sp.P - 1) * st + 1:st,
+                      s:s + (sp.Q - 1) * st + 1:st, :],
+                w_abs[:, r, s, :])
+    n_red = sp.C * sp.R * sp.S
+    n_store = kern.Cb // kern.c_step
+    resid = out - ref
+    tau = _tau(kern.dtype, n_red, n_store, ref_abs, out_abs)
+    bad = np.argwhere(_exceeds(resid, tau))
+    return AbftCheck(kind="conv", corrupt=bool(bad.size),
+                     sites=tuple(map(tuple, bad.tolist())))
+
+
+# ======================================================================
+# SpMM (detect)
+# ======================================================================
+
+def spmm_check(kern, B, C) -> AbftCheck:
+    """Column checksum detection for ParlooperSpmm (flat packed B,
+    ``b_vnni == 1``): column sums of the dense output must equal the
+    column-summed sparse operand times B."""
+    a = kern.a
+    bk = a.bk
+    # the sparse operand is fixed at construction: encode it once
+    cached = getattr(kern, "_abft_a_sums", None)
+    if cached is not None:
+        col_A, col_absA = cached
+    else:
+        col_A = np.zeros(a.k, dtype=np.float64)
+        col_absA = np.zeros(a.k, dtype=np.float64)
+        for i in range(a.n_block_rows):
+            for q in range(int(a.row_ptr[i]), int(a.row_ptr[i + 1])):
+                kc = int(a.col_idx[q])
+                blk = a.values[a.perm[q]]
+                col_A[kc * bk:(kc + 1) * bk] += \
+                    blk.sum(axis=0, dtype=np.float64)
+                col_absA[kc * bk:(kc + 1) * bk] += \
+                    np.abs(blk).sum(axis=0, dtype=np.float64)
+        kern._abft_a_sums = (col_A, col_absA)
+    ref = np.einsum("c,cn->n", col_A, B)
+    ref_abs = np.einsum("c,cn->n", col_absA, np.abs(B))
+    out = C.sum(axis=0, dtype=np.float64)
+    out_abs = np.abs(C).sum(axis=0, dtype=np.float64)
+    resid = out - ref
+    tau = _tau(kern.dtype, a.k, 1, ref_abs, out_abs)
+    bad = np.nonzero(_exceeds(resid, tau))[0]
+    return AbftCheck(kind="spmm", corrupt=bool(bad.size),
+                     bad_cols=tuple(int(j) for j in bad),
+                     col_residual=resid)

@@ -38,6 +38,7 @@ import numpy as np
 
 from ..core.batched import (BACKENDS, batchable, enumerate_inds,
                             resolve_backend)
+from ..core.inject import active_injector
 from ..obs.context import current as _obs
 from ..simulator.reuse import CompiledTrace
 from ..tpp.backend.dispatch import dispatch_brgemm
@@ -78,7 +79,8 @@ def _slabs(sel: np.ndarray, elems_per_row: int):
 # batched execution
 # ======================================================================
 
-def run_gemm_batched(kern, A, B, C, bias_vec=None) -> np.ndarray:
+def run_gemm_batched(kern, A, B, C, bias_vec=None,
+                     defer_epilogue: bool = False) -> np.ndarray:
     """Execute a :class:`~repro.kernels.gemm.ParlooperGemm` (blocked-B
     layout) with tile-level stacked BRGEMM calls.
 
@@ -86,7 +88,8 @@ def run_gemm_batched(kern, A, B, C, bias_vec=None) -> np.ndarray:
     processed as one stacked gather → einsum → scatter.  Every C-block
     fiber sees its reduction updates in ascending-k order with the
     epilogue attached to the last one — the serial interpreter's exact
-    per-fiber schedule.
+    per-fiber schedule.  ``defer_epilogue`` leaves C linear so ABFT can
+    verify it first (the kernel applies the epilogue afterwards).
     """
     loop = kern.gemm_loop
     nt = loop.num_threads
@@ -96,6 +99,9 @@ def run_gemm_batched(kern, A, B, C, bias_vec=None) -> np.ndarray:
     elems = ks * kern.bm * kern.bk + ks * kern.bk * kern.bn
     bias_blocks = (None if bias_vec is None
                    else np.asarray(bias_vec).reshape(kern.Mb, kern.bm))
+    injector = active_injector()
+    if injector is not None:
+        injector.begin_call()
     for tid in range(nt):
         inds = enumerate_inds(loop.plan, nt, tid, dynamic="fcfs")
         if not inds.shape[0]:
@@ -117,12 +123,19 @@ def run_gemm_batched(kern, A, B, C, bias_vec=None) -> np.ndarray:
                 stored = batched_brgemm(a_blk, b_blk, old,
                                         kern.brgemm_tpp.beta, prec)
                 if k0 == last_k:
-                    if kern.bias_tpp is not None:
-                        stored = batched_bias_add_col(
-                            stored, bias_blocks[ims], prec)
-                    if kern.act_tpp is not None:
-                        stored = batched_unary(stored, kern.activation,
-                                               prec)
+                    if not defer_epilogue:
+                        if kern.bias_tpp is not None:
+                            stored = batched_bias_add_col(
+                                stored, bias_blocks[ims], prec)
+                        if kern.act_tpp is not None:
+                            stored = batched_unary(
+                                stored, kern.activation, prec)
+                    if injector is not None:
+                        # final writes, in the interpreter's visit order
+                        for r in range(part.size):
+                            injector.maybe_flip(
+                                stored[r],
+                                (int(k0), int(ims[r]), int(ins[r])))
                 C[ins, ims] = stored
     return C
 
@@ -147,6 +160,9 @@ def run_conv_batched(kern, I, Wt, O) -> np.ndarray:
     wcols = np.arange(ws, dtype=np.int64) * st
     ocols = np.arange(ws, dtype=np.int64)
     elems = br * (ws * kern.bc + kern.bc * kern.bk)
+    injector = active_injector()
+    if injector is not None:
+        injector.begin_call()
     for tid in range(nt):
         inds = enumerate_inds(loop.plan, nt, tid, dynamic="fcfs")
         if not inds.shape[0]:
@@ -154,11 +170,15 @@ def run_conv_batched(kern, I, Wt, O) -> np.ndarray:
         # ascending (ic, ir, is_) groups: each O fiber sees its reduction
         # chunks in the serial interpreter's order
         red = (inds[:, 1] * (R + 1) + inds[:, 5]) * (S + 1) + inds[:, 6]
+        # the r/s loops cover their whole range per call, so the last
+        # reduction chunk of every O fiber is ic == Cb - c_step
+        final_code = (kern.Cb - cs) * (R + 1) * (S + 1)
         for code in np.unique(red):
             sel = np.nonzero(red == code)[0]
             r0 = inds[sel[0]]
             ic, ir, is_ = int(r0[1]), int(r0[5]), int(r0[6])
             first = ic == 0 and ir == 0 and is_ == 0
+            final = code == final_code
             cg = (ic + c_off)[None, :]
             for part in _slabs(sel, elems):
                 n_i = inds[part, 0]
@@ -179,6 +199,10 @@ def run_conv_batched(kern, I, Wt, O) -> np.ndarray:
                     old = O[n_i[:, None], ikk[:, None], ih[:, None], oidx]
                 stored = batched_brgemm(a_blk, b_blk, old,
                                         kern.brgemm_tpp.beta, prec)
+                if injector is not None and final:
+                    for r in range(part.size):
+                        injector.maybe_flip(
+                            stored[r], tuple(int(v) for v in inds[part[r]]))
                 O[n_i[:, None], ikk[:, None], ih[:, None], oidx] = stored
     return O
 
@@ -202,6 +226,9 @@ def run_spmm_batched(kern, B, C) -> np.ndarray:
     colc = np.arange(bn, dtype=np.int64)
     bkc = np.arange(bk, dtype=np.int64)
     elems = bm * bk + bk * bn + bm * bn
+    injector = active_injector()
+    if injector is not None:
+        injector.begin_call()
     for tid in range(nt):
         inds = enumerate_inds(loop.plan, nt, tid, dynamic="fcfs")
         if not inds.shape[0]:
@@ -224,6 +251,10 @@ def run_spmm_batched(kern, B, C) -> np.ndarray:
                     acc = acc + np.matmul(a_blk, b_blk)
                 stored = from_compute(acc, prec.out).astype(C.dtype,
                                                             copy=False)
+                if injector is not None:
+                    for r in range(part.size):
+                        injector.maybe_flip(
+                            stored[r], (int(ims[r]), int(ins[r])))
                 C[(ims * bm)[:, None, None] + rowc[None, :, None],
                   cols[:, None, :]] = stored
     return C

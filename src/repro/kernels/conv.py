@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.inject import active_injector
 from ..core.loop_spec import LoopSpecs
 from ..core.threaded_loop import ThreadedLoop
 from ..platform.machine import MachineModel
@@ -34,6 +35,7 @@ from ..simulator.engine import SimResult
 from ..tpp.dtypes import DType, Precision
 from ..tpp.gemm import BRGemmTPP
 from ..tpp.unary import ZeroTPP
+from .abft import resolve_abft
 from .common import as_dtype, divisible
 
 __all__ = ["ConvSpec", "ParlooperConv", "DEFAULT_CONV_SPEC"]
@@ -78,7 +80,8 @@ class ParlooperConv:
                  spec_string: str = DEFAULT_CONV_SPEC,
                  num_threads: int | None = None,
                  block_steps=None,
-                 backend: str = "interp"):
+                 backend: str = "interp",
+                 abft: str = "off"):
         divisible(spec.C, bc, "C")
         divisible(spec.K, bk, "K")
         self.spec = spec
@@ -90,6 +93,7 @@ class ParlooperConv:
         divisible(self.Cb, c_step, "Cb")
         self.dtype = dtype
         self.spec_string = spec_string
+        self.abft = resolve_abft(abft)
 
         prec = Precision.of(dtype)
         self.zero_tpp = ZeroTPP(self.w_step, bk, prec)
@@ -139,13 +143,20 @@ class ParlooperConv:
     # -- functional -------------------------------------------------------
     def __call__(self, I: np.ndarray, Wt: np.ndarray, O: np.ndarray
                  ) -> np.ndarray:
+        self._execute(I, Wt, O)
+        if self.abft != "off":
+            self._abft_finish(I, Wt, O)
+        return O
+
+    def _execute(self, I, Wt, O):
         if self.backend == "batched":
             from .batched import (conv_batched_ok, record_backend_outcome,
                                   run_conv_batched)
             ok, reason = conv_batched_ok(self)
             if ok:
                 record_backend_outcome("conv", "lowered")
-                return run_conv_batched(self, I, Wt, O)
+                run_conv_batched(self, I, Wt, O)
+                return
             record_backend_outcome("conv", "fallback", reason)
         sp = self.spec
         st = sp.stride
@@ -169,8 +180,35 @@ class ParlooperConv:
             self.brgemm_tpp(a_blocks, b_blocks,
                             O[in_][ik][ih, iw:iw + self.w_step], brcount)
 
+        injector = active_injector()
+        if injector is not None:
+            c_final = self.Cb - self.c_step
+            ws = self.w_step
+            injector.begin_call(
+                lambda ind: O[ind[0]][ind[2]][ind[3], ind[4]:ind[4] + ws]
+                if ind[1] == c_final else None)
         self.conv_loop(body)
-        return O
+
+    def _abft_finish(self, I, Wt, O):
+        from ..core.errors import SdcDetectedError
+        from .abft import conv_check, record_abft_outcome
+        check = conv_check(self, I, Wt, O)
+        if not check.corrupt:
+            return
+        record_abft_outcome("conv", "detected")
+        if self.abft == "detect":
+            raise SdcDetectedError(
+                f"ABFT detected corruption: {check.describe()}",
+                check=check)
+        # the channel-sum checksum detects but cannot locate within the
+        # summed-out axis: recompute the nest once
+        self._execute(I, Wt, O)
+        record_abft_outcome("conv", "recomputed")
+        check = conv_check(self, I, Wt, O)
+        if check.corrupt:
+            raise SdcDetectedError(
+                "ABFT recompute is still corrupt: " + check.describe(),
+                check=check)
 
     def run(self, x: np.ndarray, wt: np.ndarray) -> np.ndarray:
         """Convenience: NCHW in, NKPQ out (input must be pre-padded)."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.inject import active_injector
 from ..core.loop_spec import LoopSpecs
 from ..core.threaded_loop import ThreadedLoop
 from ..platform.machine import MachineModel
@@ -22,6 +23,7 @@ from ..tpp.gemm import BRGemmTPP
 from ..tpp.memory import Ptr
 from ..tpp.unary import GeluTPP, ReluTPP, ZeroTPP
 from ..tpp.binary import BiasAddColTPP
+from .abft import resolve_abft
 from .common import (alloc_blocked_c, divisible, pack_a_blocked,
                      pack_b_blocked, unpack_c_blocked)
 
@@ -67,7 +69,8 @@ class ParlooperGemm:
                  activation: str = "none",
                  bias: bool = False,
                  flat_b: bool = False,
-                 backend: str = "interp"):
+                 backend: str = "interp",
+                 abft: str = "off"):
         divisible(M, bm, "M")
         divisible(N, bn, "N")
         divisible(K, bk, "K")
@@ -86,6 +89,7 @@ class ParlooperGemm:
         self.activation = activation
         self.bias = bias
         self.flat_b = flat_b
+        self.abft = resolve_abft(abft)
 
         prec = Precision.of(dtype)
         self.zero_tpp = ZeroTPP(bm, bn, prec)
@@ -124,16 +128,33 @@ class ParlooperGemm:
     # -- functional execution ------------------------------------------------
     def __call__(self, A: np.ndarray, B: np.ndarray, C: np.ndarray,
                  bias_vec: np.ndarray | None = None) -> np.ndarray:
-        """Run the kernel (Listing 1 lines 11-17)."""
+        """Run the kernel (Listing 1 lines 11-17).
+
+        With ``abft != "off"`` the fused epilogue is deferred: the nest
+        computes the *linear* C, the Huang–Abraham checksums verify (and
+        in ``"correct"`` mode repair or recompute) it, and the identical
+        per-block bias/activation TPPs are applied afterwards — the
+        epilogue is not invertible, the linear part is.
+        """
         if self.bias and bias_vec is None:
             raise ValueError("kernel was built with bias=True; pass bias_vec")
+        defer = self.abft != "off" and (self.bias_tpp is not None
+                                        or self.act_tpp is not None)
+        self._execute(A, B, C, bias_vec, defer)
+        if self.abft != "off":
+            self._abft_finish(A, B, C, bias_vec, defer)
+        return C
+
+    def _execute(self, A, B, C, bias_vec, defer_epilogue=False):
         if self.backend == "batched":
             from .batched import (gemm_batched_ok, record_backend_outcome,
                                   run_gemm_batched)
             ok, reason = gemm_batched_ok(self)
             if ok:
                 record_backend_outcome("gemm", "lowered")
-                return run_gemm_batched(self, A, B, C, bias_vec)
+                run_gemm_batched(self, A, B, C, bias_vec,
+                                 defer_epilogue=defer_epilogue)
+                return
             record_backend_outcome("gemm", "fallback", reason)
         last_k = self.Kb - self.k_step
 
@@ -152,7 +173,7 @@ class ParlooperGemm:
             else:
                 self.brgemm_tpp(Ptr.of(A, im, ik), Ptr.of(B, in_, ik),
                                 c_blk, brcount)
-            if ik == last_k:
+            if ik == last_k and not defer_epilogue:
                 if self.bias_tpp is not None:
                     # per-output-feature bias: broadcast down the minibatch
                     self.bias_tpp(c_blk, bias_vec[im * self.bm:
@@ -160,8 +181,60 @@ class ParlooperGemm:
                 if self.act_tpp is not None:
                     self.act_tpp(c_blk)
 
+        injector = active_injector()
+        if injector is not None:
+            injector.begin_call(
+                lambda ind: C[ind[2]][ind[1]]
+                if ind[0] == last_k else None)
         self.gemm_loop(body)
-        return C
+
+    def _apply_epilogue(self, C, bias_vec):
+        """The deferred fused epilogue, applied over the whole stacked
+        tile set at once — elementwise identical to the fused path (the
+        batched TPP equivalents round exactly like the per-block TPPs,
+        and are far cheaper than Mb*Nb Python calls)."""
+        if self.bias_tpp is None and self.act_tpp is None:
+            return
+        from ..tpp.batched import batched_bias_add_col, batched_unary
+        prec = Precision.of(self.dtype)
+        tiles = C.reshape(-1, self.bm, self.bn)
+        stored = tiles
+        if self.bias_tpp is not None:
+            bias_blocks = np.asarray(bias_vec).reshape(self.Mb, self.bm)
+            ims = np.tile(np.arange(self.Mb), self.Nb)
+            stored = batched_bias_add_col(stored, bias_blocks[ims], prec)
+        if self.act_tpp is not None:
+            stored = batched_unary(stored, self.activation, prec)
+        tiles[:] = stored
+
+    def _abft_finish(self, A, B, C, bias_vec, defer):
+        from ..core.errors import SdcDetectedError
+        from .abft import (gemm_check, gemm_correct_single,
+                           record_abft_outcome)
+        check = gemm_check(self, A, B, C)
+        if check.corrupt:
+            record_abft_outcome("gemm", "detected")
+            if self.abft == "detect":
+                raise SdcDetectedError(
+                    f"ABFT detected corruption: {check.describe()}",
+                    check=check)
+            if check.single:
+                gemm_correct_single(self, A, B, C, check)
+                if not gemm_check(self, A, B, C).corrupt:
+                    record_abft_outcome("gemm", "corrected")
+                    check = None
+            if check is not None:
+                # multi-element (or an unrepairable single): one clean
+                # recompute of the whole nest
+                self._execute(A, B, C, bias_vec, defer)
+                record_abft_outcome("gemm", "recomputed")
+                check = gemm_check(self, A, B, C)
+                if check.corrupt:
+                    raise SdcDetectedError(
+                        "ABFT recompute is still corrupt: "
+                        + check.describe(), check=check)
+        if defer:
+            self._apply_epilogue(C, bias_vec)
 
     def _addr_brgemm(self, a_blocks, b_blocks, c_blk, brcount):
         tpp = getattr(self, "_addr_tpp", None)
@@ -273,4 +346,4 @@ class ParlooperGemm:
             block_steps=block_steps if block_steps is not None
             else ((), (), ()),
             activation=self.activation, bias=self.bias, flat_b=self.flat_b,
-            backend=self.backend)
+            backend=self.backend, abft=self.abft)

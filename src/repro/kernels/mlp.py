@@ -34,7 +34,7 @@ class MlpLayer:
                  spec_string: str = DEFAULT_GEMM_SPEC,
                  num_threads: int | None = None,
                  activation: str = "relu", bias: bool = True,
-                 backend: str = "interp"):
+                 backend: str = "interp", abft: str = "off"):
         # GEMM dims: M = out_features, K = in_features, N = minibatch
         self.in_features = in_features
         self.out_features = out_features
@@ -42,8 +42,9 @@ class MlpLayer:
         self.gemm = ParlooperGemm(
             out_features, minibatch, in_features, bm, bn, bk,
             dtype=dtype, spec_string=spec_string, num_threads=num_threads,
-            activation=activation, bias=bias, backend=backend)
+            activation=activation, bias=bias, backend=backend, abft=abft)
         self.backend = self.gemm.backend
+        self.abft = self.gemm.abft
 
     def __call__(self, W_blocked: np.ndarray, I_blocked: np.ndarray,
                  bias_vec: np.ndarray | None) -> np.ndarray:
@@ -65,7 +66,7 @@ class ParlooperMlp:
                  spec_string: str = DEFAULT_GEMM_SPEC,
                  num_threads: int | None = None,
                  activation: str = "relu", bias: bool = True, seed: int = 0,
-                 backend: str = "interp"):
+                 backend: str = "interp", abft: str = "off"):
         if len(sizes) < 2:
             raise ValueError("an MLP needs at least one layer (two sizes)")
         self.sizes = list(sizes)
@@ -76,10 +77,11 @@ class ParlooperMlp:
         self.layers = [
             MlpLayer(sizes[l], sizes[l + 1], minibatch, bm, bn, bk, dtype,
                      spec_string, num_threads, activation, bias,
-                     backend=backend)
+                     backend=backend, abft=abft)
             for l in range(len(sizes) - 1)
         ]
         self.backend = self.layers[0].backend
+        self.abft = self.layers[0].abft
         rng = np.random.default_rng(seed)
         self.weights = []
         self.biases = []

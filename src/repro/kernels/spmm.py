@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.inject import active_injector
 from ..core.loop_spec import LoopSpecs
 from ..core.threaded_loop import ThreadedLoop
 from ..platform.machine import MachineModel
@@ -20,6 +21,7 @@ from ..simulator.cost import spmm_event
 from ..simulator.engine import SimResult
 from ..tpp.dtypes import DType, Precision
 from ..tpp.sparse import BCSCMatrix, BlockSpMMTPP
+from .abft import resolve_abft
 from .common import as_dtype, divisible
 
 __all__ = ["ParlooperSpmm", "DEFAULT_SPMM_SPEC"]
@@ -35,8 +37,14 @@ class ParlooperSpmm:
                  spec_string: str = DEFAULT_SPMM_SPEC,
                  num_threads: int | None = None,
                  block_steps=((), ()),
-                 backend: str = "interp"):
+                 backend: str = "interp",
+                 abft: str = "off"):
         divisible(N, bn, "N")
+        self.abft = resolve_abft(abft)
+        if self.abft != "off" and b_vnni != 1:
+            raise ValueError(
+                "abft checksums need the flat (b_vnni=1) B layout; "
+                f"got b_vnni={b_vnni}")
         self.a = a
         self.N = N
         self.bn = bn
@@ -72,13 +80,20 @@ class ParlooperSpmm:
 
     # -- functional -------------------------------------------------------
     def __call__(self, B: np.ndarray, C: np.ndarray) -> np.ndarray:
+        self._execute(B, C)
+        if self.abft != "off":
+            self._abft_finish(B, C)
+        return C
+
+    def _execute(self, B, C):
         if self.backend == "batched":
             from .batched import (record_backend_outcome, run_spmm_batched,
                                   spmm_batched_ok)
             ok, reason = spmm_batched_ok(self)
             if ok:
                 record_backend_outcome("spmm", "lowered")
-                return run_spmm_batched(self, B, C)
+                run_spmm_batched(self, B, C)
+                return
             record_backend_outcome("spmm", "fallback", reason)
         bm = self.a.bm
 
@@ -89,8 +104,34 @@ class ParlooperSpmm:
                             i_n * self.bn:(i_n + 1) * self.bn],
                           block_row=i_m, n_start=i_n * self.bn)
 
+        injector = active_injector()
+        if injector is not None:
+            # each spmm body call is the final write of its C block
+            injector.begin_call(
+                lambda ind: C[ind[0] * bm:(ind[0] + 1) * bm,
+                              ind[1] * self.bn:(ind[1] + 1) * self.bn])
         self.spmm_loop(body)
-        return C
+
+    def _abft_finish(self, B, C):
+        from ..core.errors import SdcDetectedError
+        from .abft import record_abft_outcome, spmm_check
+        check = spmm_check(self, B, C)
+        if not check.corrupt:
+            return
+        record_abft_outcome("spmm", "detected")
+        if self.abft == "detect":
+            raise SdcDetectedError(
+                f"ABFT detected corruption: {check.describe()}",
+                check=check)
+        # the column checksum sums out M, so it detects but cannot locate
+        # the bad row: recompute the nest once
+        self._execute(B, C)
+        record_abft_outcome("spmm", "recomputed")
+        check = spmm_check(self, B, C)
+        if check.corrupt:
+            raise SdcDetectedError(
+                "ABFT recompute is still corrupt: " + check.describe(),
+                check=check)
 
     def run(self, b: np.ndarray) -> np.ndarray:
         C = self.alloc_c()

@@ -17,9 +17,13 @@ analytical models; `repro.resilience` extends that discipline to
   :class:`~repro.serve.server.ServeSimulator` gets (deadlines + timeout
   cancellation, seeded exponential-backoff retry, watchdog
   shed-and-continue, graceful degradation);
+* :mod:`~repro.resilience.sdc` — :class:`SdcPlan`, seeded silent-data-
+  corruption injection (bit flips in kernel tile outputs via
+  :class:`SdcInjector`, and per-step corruption in the serve loop) that
+  the ABFT checksums in :mod:`repro.kernels.abft` must catch;
 * :mod:`~repro.resilience.chaos` — the chaos harness asserting
-  request conservation, pool leak freedom, and exception freedom over
-  seeded plan sweeps.
+  request conservation, pool leak freedom, exception freedom, and the
+  no-tainted-terminals SDC invariant over seeded plan sweeps.
 
 The headline metric is **goodput** — tokens of requests finished within
 their deadline while the client was still there, per second — reported
@@ -33,11 +37,13 @@ from .faults import (FaultPlan, FaultWindow, FleetFaultPlan,
                      REPLICA_FAULT_KINDS, ReplicaFault, hash01)
 from .policies import (DegradePolicy, ResilienceConfig, RetryPolicy,
                        stamp_deadlines)
+from .sdc import FlipRecord, SdcInjector, SdcPlan, sdc_injection
 
 __all__ = [
     "FaultPlan", "FaultWindow", "hash01",
     "ReplicaFault", "FleetFaultPlan", "REPLICA_FAULT_KINDS",
     "RetryPolicy", "DegradePolicy", "ResilienceConfig", "stamp_deadlines",
+    "SdcPlan", "SdcInjector", "FlipRecord", "sdc_injection",
     "ChaosOutcome", "check_invariants", "chaos_trial", "chaos_sweep",
     "check_fleet_invariants", "fleet_chaos_trial",
 ]

@@ -64,6 +64,32 @@ def check_invariants(sim, report) -> list:
                 and r.finish_s != r.token_times[-1]:
             errs.append(f"request {r.rid}: finish_s disagrees with its "
                         f"last token timestamp")
+    errs.extend(_check_taint(sim.resilience is not None,
+                             report.requests, report.summary))
+    return errs
+
+
+def _check_taint(defended: bool, requests, summary) -> list:
+    """SDC invariant: with the ABFT defense on, no corrupted token may
+    reach a terminal response — every injected event is detected and
+    either corrected or recomputed, so nothing is ever tainted."""
+    errs = []
+    if defended:
+        for r in requests:
+            if r.tainted:
+                errs.append(
+                    f"request {r.rid}: tainted tokens under SDC defense "
+                    f"(state {r.state.value})")
+        if summary.n_sdc_silent:
+            errs.append(
+                f"{summary.n_sdc_silent} silent SDC events under "
+                f"defense: every event must be detected")
+        if summary.n_sdc_detected != (summary.n_sdc_corrected
+                                      + summary.n_sdc_recomputed):
+            errs.append(
+                f"sdc accounting broken: {summary.n_sdc_detected} "
+                f"detected != {summary.n_sdc_corrected} corrected + "
+                f"{summary.n_sdc_recomputed} recomputed")
     return errs
 
 
@@ -112,7 +138,10 @@ def check_fleet_invariants(fleet, report) -> list:
       tokens spent, and spending never exceeds what the token bucket
       could have issued over the makespan;
     * **breaker legality** — every logged breaker edge is one of
-      closed→open, open→half-open, half-open→closed, half-open→open."""
+      closed→open, open→half-open, half-open→closed, half-open→open;
+    * **no tainted terminals** — with the SDC defense on (resilience
+      set), no request carrying silently corrupted tokens may reach a
+      terminal state anywhere in the fleet."""
     errs = []
     s = report.summary
     if s.n_terminal != s.n_injected:
@@ -150,6 +179,8 @@ def check_fleet_invariants(fleet, report) -> list:
                 and req.finish_s < req.token_times[-1]:
             errs.append(f"request {req.rid}: finish_s precedes its last "
                         f"token timestamp")
+    errs.extend(_check_taint(fleet.resilience is not None,
+                             report.requests, report.summary))
 
     # -- defense-layer invariants (guarded fleets only) ----------------
     guard = getattr(fleet, "_defense", None)

@@ -59,9 +59,10 @@ _TAG_DEATH = 31
 _TAG_PLAN_SEED = 37
 _TAG_PROBE = 41
 _TAG_GRAY = 43
+_TAG_SDC_SEED = 47
 
 #: valid :class:`ReplicaFault` kinds ("death" is the clean one)
-REPLICA_FAULT_KINDS = ("death", "slowdown", "flaky", "partition")
+REPLICA_FAULT_KINDS = ("death", "slowdown", "flaky", "partition", "sdc")
 
 
 def hash01(*key: int) -> float:
@@ -81,6 +82,14 @@ class FaultWindow:
     end_s: float
     #: straggler: step-cost multiplier (>= 1); capacity: lost fraction
     value: float
+
+    def __post_init__(self):
+        if math.isnan(self.start_s) or math.isnan(self.end_s):
+            raise ValueError(f"fault window has NaN bounds: {self}")
+        if self.start_s < 0.0:
+            raise ValueError(f"fault window starts before t=0: {self}")
+        if self.end_s < self.start_s:
+            raise ValueError(f"inverted fault window: {self}")
 
     def active(self, now_s: float) -> bool:
         return self.start_s <= now_s < self.end_s
@@ -217,7 +226,9 @@ class ReplicaFault:
       time;
     * ``"flaky"`` — each step loses its work with probability ``value``;
     * ``"partition"`` — health probes are dropped (the replica still
-      serves; only observers think it is gone).
+      serves; only observers think it is gone);
+    * ``"sdc"`` — a bad core silently corrupts each step's arithmetic
+      with probability ``value`` (see :mod:`repro.resilience.sdc`).
     """
 
     replica: int
@@ -234,12 +245,28 @@ class ReplicaFault:
             raise ValueError(
                 f"unknown ReplicaFault kind {self.kind!r}; valid: "
                 f"{REPLICA_FAULT_KINDS}")
+        for name in ("at_s", "revive_s", "until_s"):
+            v = getattr(self, name)
+            if v is not None and math.isnan(v):
+                raise ValueError(
+                    f"ReplicaFault {name} is NaN: {self}")
+        if self.at_s < 0.0:
+            raise ValueError(
+                f"ReplicaFault strikes before t=0: {self}")
+        if self.revive_s is not None and self.revive_s < self.at_s:
+            raise ValueError(
+                f"ReplicaFault revives before it strikes: {self}")
+        if self.until_s is not None and self.until_s < self.at_s:
+            raise ValueError(
+                f"inverted ReplicaFault window: {self}")
         if self.kind == "slowdown" and self.value < 1.0:
             raise ValueError(
                 f"slowdown value must be >= 1, got {self.value!r}")
-        if self.kind == "flaky" and not 0.0 <= self.value <= 1.0:
+        if self.kind in ("flaky", "sdc") \
+                and not 0.0 <= self.value <= 1.0:
             raise ValueError(
-                f"flaky value must be a probability, got {self.value!r}")
+                f"{self.kind} value must be a probability, "
+                f"got {self.value!r}")
 
     @property
     def gray(self) -> bool:
@@ -308,6 +335,20 @@ class FleetFaultPlan:
             p_cancel=base.p_cancel,
             cancel_patience_s=base.cancel_patience_s)
 
+    def sdc_for(self, replica: int):
+        """The per-replica :class:`~repro.resilience.sdc.SdcPlan`
+        built from this fleet's ``"sdc"`` gray windows (None: the
+        replica's cores are sound).  Seeded per slot, so the corruption
+        pattern replays from the fleet seed alone."""
+        windows = self._gray_windows(replica, "sdc")
+        if not windows:
+            return None
+        from .sdc import SdcPlan
+        return SdcPlan(
+            seed=int(np.random.default_rng(
+                (self.seed, _TAG_SDC_SEED, replica)).integers(2**31)),
+            step_windows=windows)
+
     def death_events(self) -> list:
         """All deaths and revivals as ``(t, kind, replica)`` tuples,
         time-sorted with deaths before revivals at equal times."""
@@ -372,10 +413,12 @@ class FleetFaultPlan:
                     n_slowdowns: int = 2, slowdown_mult: float = 8.0,
                     n_flaky: int = 1, flaky_p: float = 0.3,
                     n_partitions: int = 1, p_probe_loss: float = 0.02,
-                    n_deaths: int = 0, revive: bool = True
+                    n_deaths: int = 0, revive: bool = True,
+                    n_sdc: int = 0, sdc_p: float = 0.3
                     ) -> "FleetFaultPlan":
         """One seeded *gray* fleet scenario over ``[0, horizon_s]``:
-        slowdown / flaky / partition windows strike seeded replicas in
+        slowdown / flaky / partition / sdc windows strike seeded
+        replicas in
         the middle 70% of the horizon (so there is traffic to hurt),
         each lasting a seeded 10–35% of it.  Intensities are seeded up
         to the given maxima.  Optional clean deaths mix in via the same
@@ -397,7 +440,8 @@ class FleetFaultPlan:
         grays = (gray("slowdown", n_slowdowns,
                       lambda u: 1.0 + u * (slowdown_mult - 1.0))
                  + gray("flaky", n_flaky, lambda u: u * flaky_p)
-                 + gray("partition", n_partitions, lambda u: 0.0))
+                 + gray("partition", n_partitions, lambda u: 0.0)
+                 + gray("sdc", n_sdc, lambda u: u * sdc_p))
         deaths = []
         for _ in range(n_deaths):
             replica = int(rng.integers(n_replicas))

@@ -69,6 +69,12 @@ class ServeSummary:
     #: reach a terminal state elsewhere, so conservation per replica is
     #: ``n_terminal + n_failed_over == n_submitted``
     n_failed_over: int = 0
+    # -- silent-data-corruption accounting (repro.resilience.sdc) ------
+    n_sdc_detected: int = 0
+    n_sdc_corrected: int = 0
+    n_sdc_recomputed: int = 0
+    #: corruption events that landed with no defense — tokens tainted
+    n_sdc_silent: int = 0
 
     @property
     def n_terminal(self) -> int:
@@ -113,6 +119,10 @@ class ServeMetrics:
     n_degraded: int = 0
     n_step_failures: int = 0
     n_failed_over: int = 0
+    n_sdc_detected: int = 0
+    n_sdc_corrected: int = 0
+    n_sdc_recomputed: int = 0
+    n_sdc_silent: int = 0
     goodput_tokens: int = 0
     #: (time_s, queue_depth, batch_size, kv_occupancy, kv_fragmentation)
     samples: list = field(default_factory=list)
@@ -200,6 +210,30 @@ class ServeMetrics:
             self.obs.inc("fault_injections",
                          **self._labels(kind="step_failure"))
 
+    def _sdc(self, outcome: str) -> None:
+        if self.obs is not None and self.obs.enabled:
+            self.obs.inc("sdc_events",
+                         **self._labels(kernel="serve", outcome=outcome))
+
+    def on_sdc_detected(self) -> None:
+        self.n_sdc_detected += 1
+        self._sdc("detected")
+
+    def on_sdc_corrected(self) -> None:
+        self.n_sdc_corrected += 1
+        self._sdc("corrected")
+        self._recovery("sdc_correct")
+
+    def on_sdc_recomputed(self) -> None:
+        self.n_sdc_recomputed += 1
+        self._sdc("recomputed")
+        self._recovery("sdc_recompute")
+
+    def on_sdc_silent(self) -> None:
+        """Corruption landed with no ABFT defense: tokens are tainted."""
+        self.n_sdc_silent += 1
+        self._sdc("silent")
+
     def on_failover(self, req: Request) -> None:
         """Request evacuated off a dying replica (terminal elsewhere)."""
         self.n_failed_over += 1
@@ -257,6 +291,10 @@ class ServeMetrics:
             n_degraded=self.n_degraded,
             n_step_failures=self.n_step_failures,
             n_failed_over=self.n_failed_over,
+            n_sdc_detected=self.n_sdc_detected,
+            n_sdc_corrected=self.n_sdc_corrected,
+            n_sdc_recomputed=self.n_sdc_recomputed,
+            n_sdc_silent=self.n_sdc_silent,
             goodput_tokens=self.goodput_tokens,
             goodput_tokens_per_s=(self.goodput_tokens / makespan_s
                                   if makespan_s > 0 else 0.0),

@@ -79,6 +79,10 @@ class Request:
     #: hedge).  Clones carry the primary's absolute deadline/cancel
     #: times so the remaining budget propagates across the re-issue.
     hedge_of: int | None = None
+    #: True once an undefended silent-data-corruption event touched this
+    #: request's tokens — the chaos invariant demands no tainted request
+    #: reaches a terminal FINISHED state when SDC defense is on
+    tainted: bool = False
 
     @property
     def context_tokens(self) -> int:

@@ -113,7 +113,12 @@ class ServeSimulator:
 
     ``faults`` injects a seeded fault environment; ``resilience``
     enables the recovery policies.  With both left ``None`` the loop is
-    exactly the baseline simulator.
+    exactly the baseline simulator.  ``sdc`` (an
+    :class:`~repro.resilience.sdc.SdcPlan`) injects seeded silent data
+    corruption into serve steps: with ``resilience`` set the ABFT
+    defense detects every event and either corrects in place or rolls
+    the step back for a deterministic recompute; without it the
+    corruption lands silently and taints the touched requests.
 
     ``obs`` binds the simulator to one observability context
     (:class:`repro.Session` passes its own); ``None`` uses whatever
@@ -132,7 +137,7 @@ class ServeSimulator:
                  batcher=None, scheduler: Scheduler | None = None,
                  block_tokens: int = 16, mem_fraction: float = 0.9,
                  cost: ServeCostModel | None = None,
-                 resilience=None, faults=None, obs=None,
+                 resilience=None, faults=None, sdc=None, obs=None,
                  replica_id: int | None = None):
         if not isinstance(block_tokens, int) or block_tokens <= 0:
             raise ServeConfigError(
@@ -156,6 +161,7 @@ class ServeSimulator:
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.resilience = resilience
         self.faults = faults
+        self.sdc = sdc
         self.obs = obs
         self.replica_id = replica_id
         self._st: _RunState | None = None
@@ -435,21 +441,50 @@ class ServeSimulator:
             failed = fplan.step_fails(st.steps, now)
             if mult != 1.0 and obs.metrics.enabled:
                 obs.inc("fault_injections", kind="straggler_step")
+        # seeded silent data corruption in this step's kernel outputs
+        sdc_hit = (not failed and self.sdc is not None
+                   and self.sdc.step_corrupts(st.steps, now))
+        sdc_redo = False
+        sdc_silent = False
+        if sdc_hit:
+            if obs.metrics.enabled:
+                obs.inc("fault_injections", kind="sdc")
+            if res is not None:
+                # hardened: ABFT checksums catch the corruption before
+                # any token leaves the step
+                metrics.on_sdc_detected()
+                if self.sdc.correctable(st.steps):
+                    metrics.on_sdc_corrected()   # fixed in place
+                else:
+                    sdc_redo = True   # roll back, recompute the step
+            else:
+                sdc_silent = True     # undefended: tokens are tainted
         step_start = now
         now += dt
         st.now = now
         metrics.now_s = now
 
-        if failed:
-            # transient step failure: the wall time is spent but the
-            # work is lost — token accounting rolls back, the blocks
-            # stay held for the redo
-            metrics.on_step_failure()
+        if failed or sdc_redo:
+            # transient step failure (or detected-uncorrectable SDC):
+            # the wall time is spent but the work is lost — token
+            # accounting rolls back, the blocks stay held for the redo
+            if failed:
+                metrics.on_step_failure()
+            else:
+                metrics.on_sdc_recomputed()
             for req in decode:
                 self.pool.roll_back_tokens(req.rid, req.cached)
             for req, _, _ in prefill:
                 self.pool.roll_back_tokens(req.rid, req.cached)
         else:
+            if sdc_silent:
+                # no defense: the corrupted output flows into every
+                # request this step touched
+                metrics.on_sdc_silent()
+                for req in decode:
+                    req.tainted = True
+                for req, _, _ in prefill:
+                    req.tainted = True
             # apply decode effects
             for req in decode:
                 req.cached += 1
@@ -480,7 +515,8 @@ class ServeSimulator:
             obs.tracer.complete("step", step_start, now,
                                 track=self.step_track,
                                 decode=len(decode),
-                                prefill=len(prefill), failed=failed)
+                                prefill=len(prefill), failed=failed,
+                                sdc=sdc_hit)
         st.steps += 1
         if st.steps > st.max_steps:
             raise StepBudgetError(

@@ -117,20 +117,29 @@ class Session:
     def compile(self, specs, spec_string: str,
                 num_threads: int | None = None,
                 execution: str = "serial",
-                backend: str = "interp") -> ThreadedLoop:
+                backend: str = "interp",
+                abft: str = "off") -> ThreadedLoop:
         """Build (or fetch from this session's nest cache) a
         :class:`~repro.core.threaded_loop.ThreadedLoop`.
 
         ``backend="batched"`` marks the loop for tile-level batched
         execution (see :mod:`repro.kernels.batched`); kernels holding
         the loop dispatch accordingly and fall back to the interpreter
-        when :func:`repro.core.batched.batchable` says no."""
+        when :func:`repro.core.batched.batchable` says no.
+
+        ``abft`` ("off" | "detect" | "correct") is validated here and
+        stamped on the loop so kernel ctors built around it inherit the
+        checksum mode (see :mod:`repro.kernels.abft`)."""
+        from .kernels.abft import resolve_abft
+        abft = resolve_abft(abft)
         with self.activate():
-            return ThreadedLoop(specs, spec_string,
+            loop = ThreadedLoop(specs, spec_string,
                                 num_threads=num_threads,
                                 execution=execution,
                                 cache=self.nest_cache,
                                 backend=backend)
+            loop.abft = abft
+            return loop
 
     # -- simulator ---------------------------------------------------------
     def _resolve_machine(self, machine):

@@ -18,6 +18,7 @@ tensor-slice traces the performance simulator replays:
 """
 
 from ..core.errors import VerificationError
+from .abft_oracle import OracleResult, clean_sweep, run_oracle
 from .coverage import CoverageReport, check_coverage
 from .fuzz import (FuzzFamily, FuzzResult, default_families, dump_failures,
                    fuzz_family, run_fuzz)
@@ -28,6 +29,7 @@ __all__ = [
     "CoverageReport", "check_coverage",
     "FuzzFamily", "FuzzResult", "default_families", "fuzz_family",
     "run_fuzz", "dump_failures",
+    "OracleResult", "run_oracle", "clean_sweep",
     "VerificationError", "verify_nest",
 ]
 

@@ -147,12 +147,19 @@ class TestCorruptQuarantine:
         ThreadedLoop(SPECS, "ab", cache=reloaded)
         assert reloaded.disk_hits == 1 and reloaded.misses == 0
 
-    def test_requarantine_overwrites_old_evidence(self, tmp_path):
+    def test_requarantine_keeps_every_piece_of_evidence(self, tmp_path):
         path = os.fspath(tmp_path / "nests.json")
-        for payload in ("{ first", "{ second"):
+        for payload in ("{ first", "{ second", "{ third"):
             with open(path, "w") as fh:
                 fh.write(payload)
             with pytest.warns(UserWarning, match="corrupt"):
                 NestCache(persist_path=path)
+        # each quarantine lands on a fresh destination: .corrupt, then
+        # .corrupt.1, .corrupt.2 — no evidence is ever overwritten
         with open(path + ".corrupt") as fh:
+            assert fh.read() == "{ first"
+        with open(path + ".corrupt.1") as fh:
             assert fh.read() == "{ second"
+        with open(path + ".corrupt.2") as fh:
+            assert fh.read() == "{ third"
+        assert not os.path.exists(path)

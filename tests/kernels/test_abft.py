@@ -1,0 +1,333 @@
+"""ABFT checksums under seeded bit flips: every kernel family must
+detect 100% of single exponent-MSB flips on both backends; GEMM must
+additionally locate and bit-exactly correct them.
+
+All injected runs use integer-valued tensors (the repo's bit-exactness
+idiom): checksum residuals are then exactly zero or exactly the
+injected delta, so `array_equal` against a clean golden output is a
+fair acceptance bar.  Clean-run tests use full-range floats and BF16
+to stress the worst-case thresholds instead."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SdcDetectedError
+from repro.kernels.conv import ConvSpec, ParlooperConv
+from repro.kernels.gemm import ParlooperGemm
+from repro.kernels.mlp import ParlooperMlp
+from repro.kernels.spmm import ParlooperSpmm
+from repro.obs import MetricRegistry, ObsContext, use
+from repro.resilience import SdcPlan, sdc_injection
+from repro.tpp.dtypes import DType
+from repro.tpp.sparse import BCSCMatrix
+
+BACKENDS = ("interp", "batched")
+
+
+def ints(rng, *shape):
+    return rng.integers(-2, 3, size=shape).astype(np.float32)
+
+
+# ======================================================================
+# GEMM: detect + locate + correct
+# ======================================================================
+
+def _gemm_setup(backend, abft, seed=0, **kw):
+    rng = np.random.default_rng(seed)
+    kern = ParlooperGemm(64, 64, 64, bm=16, bn=16, bk=16, k_step=2,
+                         backend=backend, abft=abft, **kw)
+    A = kern.pack_a(ints(rng, 64, 64))
+    B = kern.pack_b(ints(rng, 64, 64))
+    return kern, A, B
+
+
+class TestGemmAbft:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_single_flip_detection_is_total(self, backend):
+        """100% detection over a sweep of seeded single flips."""
+        for seed in range(8):
+            kern, A, B = _gemm_setup(backend, "detect")
+            C = kern.alloc_c()
+            with sdc_injection(SdcPlan.single_flip(seed=seed)) as inj:
+                with pytest.raises(SdcDetectedError) as exc:
+                    kern(A, B, C)
+            assert len(inj.flips) == 1
+            assert exc.value.check.kind == "gemm"
+            assert exc.value.check.corrupt
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_single_flip_correction_is_bit_exact(self, backend):
+        kern, A, B = _gemm_setup(backend, "off")
+        golden = kern(A, B, kern.alloc_c())
+        for seed in range(8):
+            kern, A, B = _gemm_setup(backend, "correct")
+            C = kern.alloc_c()
+            with sdc_injection(SdcPlan.single_flip(seed=seed)) as inj:
+                kern(A, B, C)
+            assert len(inj.flips) == 1
+            assert np.array_equal(C, golden), f"seed {seed}"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_multi_flip_falls_back_to_recompute(self, backend):
+        """Several flips break locatability; correct mode recomputes
+        the nest and the output still matches the clean golden."""
+        kern, A, B = _gemm_setup(backend, "off")
+        golden = kern(A, B, kern.alloc_c())
+        kern, A, B = _gemm_setup(backend, "correct")
+        C = kern.alloc_c()
+        plan = SdcPlan(seed=3, p_tile=1.0, max_flips=3)
+        with sdc_injection(plan) as inj:
+            kern(A, B, C)
+        assert len(inj.flips) >= 3      # recompute re-arms: 3 + 3 more
+        assert np.array_equal(C, golden)
+
+    def test_backends_flip_the_same_element(self):
+        """The counter-keyed plan corrupts the identical bit of the
+        identical element under both executors."""
+        outs, flips = [], []
+        for backend in BACKENDS:
+            kern, A, B = _gemm_setup(backend, "off")
+            C = kern.alloc_c()
+            with sdc_injection(SdcPlan.single_flip(seed=4)) as inj:
+                kern(A, B, C)
+            outs.append(C.copy())
+            flips.append(inj.flips)
+        assert flips[0] == flips[1]
+        assert np.array_equal(outs[0], outs[1])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("dtype", (DType.F32, DType.BF16))
+    def test_clean_runs_never_false_positive(self, backend, dtype):
+        """Full-range floats + fused bias/ReLU + BF16: the worst-case
+        tau must swallow all legitimate rounding drift."""
+        rng = np.random.default_rng(11)
+        kern = ParlooperGemm(128, 128, 128, bm=32, bn=32, bk=32,
+                             k_step=2, dtype=dtype, bias=True,
+                             activation="relu", backend=backend,
+                             abft="detect")
+        A = kern.pack_a(rng.standard_normal((128, 128)).astype(
+            np.float32) * 100.0)
+        B = kern.pack_b(rng.standard_normal((128, 128)).astype(
+            np.float32))
+        bias = rng.standard_normal(128).astype(np.float32)
+        kern(A, B, kern.alloc_c(), bias)     # must not raise
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_deferred_epilogue_matches_fused(self, backend):
+        """abft defers the fused bias/ReLU until after verification;
+        the final output must equal the abft="off" fused path."""
+        rng = np.random.default_rng(7)
+        a, b = ints(rng, 64, 64), ints(rng, 64, 64)
+        bias = ints(rng, 64)
+        outs = []
+        for abft in ("off", "correct"):
+            kern = ParlooperGemm(64, 64, 64, bm=16, bn=16, bk=16,
+                                 k_step=2, bias=True, activation="relu",
+                                 backend=backend, abft=abft)
+            outs.append(kern(kern.pack_a(a), kern.pack_b(b),
+                             kern.alloc_c(), bias).copy())
+        assert np.array_equal(outs[0], outs[1])
+
+    def test_mantissa_msb_flip_is_detected(self):
+        """Bit 22 (mantissa MSB) moves any nonzero value by up to half
+        its magnitude — far above the worst-case tau of these shapes,
+        so detection must fire whenever the stored bits changed.  (Low
+        mantissa bits can legally hide below tau: that is the price of
+        a zero-false-positive worst-case threshold.)"""
+        for seed in range(4):
+            kern, A, B = _gemm_setup("interp", "detect")
+            C = kern.alloc_c()
+            with sdc_injection(
+                    SdcPlan.single_flip(seed=seed, bit=22)) as inj:
+                raised = False
+                try:
+                    kern(A, B, C)
+                except SdcDetectedError:
+                    raised = True
+            rec = inj.flips[0]
+            # a flip on a 0.0 element stays 0.0-magnitude-denormal-free
+            # only when old == new; any real change must be caught
+            assert raised or rec.old == rec.new
+
+    def test_abft_outcomes_hit_the_obs_counter(self):
+        reg = MetricRegistry()
+        with use(ObsContext(metrics=reg)):
+            kern, A, B = _gemm_setup("interp", "correct")
+            with sdc_injection(SdcPlan.single_flip(seed=1)):
+                kern(A, B, kern.alloc_c())
+        assert reg.value("sdc_events", kernel="gemm",
+                         outcome="detected") == 1
+        assert reg.value("sdc_events", kernel="gemm",
+                         outcome="corrected") == 1
+
+    def test_tuner_probe_nests_stay_clean(self):
+        """Only nests whose kernel armed the injector are corrupted:
+        a bare ThreadedLoop run inside the context is untouched."""
+        from repro.core import LoopSpecs, ThreadedLoop
+        seen = []
+        with sdc_injection(SdcPlan(seed=1, p_tile=1.0)):
+            loop = ThreadedLoop([LoopSpecs(0, 4, 1)], "a")
+            loop(lambda ind: seen.append(tuple(ind)))
+        assert seen == [(0,), (1,), (2,), (3,)]
+
+
+# ======================================================================
+# Conv: output-channel checksum (detect + recompute)
+# ======================================================================
+
+def _conv_setup(backend, abft, seed=0):
+    rng = np.random.default_rng(seed)
+    spec = ConvSpec(N=1, C=32, K=32, H=6, W=6)
+    kern = ParlooperConv(spec, bc=16, bk=16, w_step=2,
+                         backend=backend, abft=abft)
+    I = kern.pack_input(ints(rng, 1, 32, 6, 6))
+    Wt = kern.pack_weights(ints(rng, 32, 32, 3, 3))
+    return kern, I, Wt
+
+
+class TestConvAbft:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_single_flip_detection_is_total(self, backend):
+        for seed in range(6):
+            kern, I, Wt = _conv_setup(backend, "detect")
+            O = kern.alloc_output()
+            with sdc_injection(SdcPlan.single_flip(seed=seed)) as inj:
+                with pytest.raises(SdcDetectedError) as exc:
+                    kern(I, Wt, O)
+            assert len(inj.flips) == 1
+            assert exc.value.check.kind == "conv"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_correct_mode_recomputes_bit_exact(self, backend):
+        """The channel checksum cannot locate within the summed-out
+        axis, so correct mode recomputes the nest — with a capped plan
+        the recompute is clean and restores the golden output."""
+        kern, I, Wt = _conv_setup(backend, "off")
+        golden = kern(I, Wt, kern.alloc_output()).copy()
+        kern, I, Wt = _conv_setup(backend, "correct")
+        O = kern.alloc_output()
+        with sdc_injection(SdcPlan.single_flip(seed=2)):
+            kern(I, Wt, O)
+        assert np.array_equal(O, golden)
+
+    def test_backends_flip_the_same_element(self):
+        flips = []
+        for backend in BACKENDS:
+            kern, I, Wt = _conv_setup(backend, "off")
+            with sdc_injection(SdcPlan.single_flip(seed=3)) as inj:
+                kern(I, Wt, kern.alloc_output())
+            flips.append(inj.flips)
+        assert flips[0] == flips[1]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_clean_floats_never_false_positive(self, backend):
+        rng = np.random.default_rng(13)
+        spec = ConvSpec(N=2, C=32, K=32, H=8, W=8)
+        kern = ParlooperConv(spec, bc=16, bk=16, w_step=2,
+                             backend=backend, abft="detect")
+        I = kern.pack_input(
+            rng.standard_normal((2, 32, 8, 8)).astype(np.float32) * 10)
+        Wt = kern.pack_weights(
+            rng.standard_normal((32, 32, 3, 3)).astype(np.float32))
+        kern(I, Wt, kern.alloc_output())     # must not raise
+
+
+# ======================================================================
+# SpMM: output-row checksum (detect + recompute)
+# ======================================================================
+
+def _spmm_setup(backend, abft, seed=0):
+    rng = np.random.default_rng(seed)
+    dense = ints(rng, 64, 64)
+    # knock out some blocks so the BCSC structure is genuinely sparse
+    dense[0:16, 16:32] = 0.0
+    dense[32:48, 0:16] = 0.0
+    a = BCSCMatrix.from_dense(dense, 16, 16)
+    kern = ParlooperSpmm(a, 64, bn=16, backend=backend, abft=abft)
+    B = kern.pack_b(ints(rng, 64, 64))
+    return kern, B
+
+
+class TestSpmmAbft:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_single_flip_detection_is_total(self, backend):
+        for seed in range(6):
+            kern, B = _spmm_setup(backend, "detect")
+            C = kern.alloc_c()
+            with sdc_injection(SdcPlan.single_flip(seed=seed)) as inj:
+                with pytest.raises(SdcDetectedError) as exc:
+                    kern(B, C)
+            assert len(inj.flips) == 1
+            assert exc.value.check.kind == "spmm"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_correct_mode_recomputes_bit_exact(self, backend):
+        kern, B = _spmm_setup(backend, "off")
+        golden = kern(B, kern.alloc_c()).copy()
+        kern, B = _spmm_setup(backend, "correct")
+        C = kern.alloc_c()
+        with sdc_injection(SdcPlan.single_flip(seed=1)):
+            kern(B, C)
+        assert np.array_equal(C, golden)
+
+    def test_vnni_layout_rejects_abft(self):
+        rng = np.random.default_rng(0)
+        a = BCSCMatrix.from_dense(ints(rng, 64, 64), 16, 16)
+        with pytest.raises(ValueError, match="b_vnni"):
+            ParlooperSpmm(a, 64, bn=16, b_vnni=2, dtype=DType.BF16,
+                          abft="detect")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_clean_floats_never_false_positive(self, backend):
+        rng = np.random.default_rng(17)
+        dense = rng.standard_normal((64, 64)).astype(np.float32) * 50
+        a = BCSCMatrix.from_dense(dense, 16, 16)
+        kern = ParlooperSpmm(a, 64, bn=16, backend=backend,
+                             abft="detect")
+        B = kern.pack_b(
+            rng.standard_normal((64, 64)).astype(np.float32))
+        kern(B, kern.alloc_c())              # must not raise
+
+
+# ======================================================================
+# MLP: per-layer GEMM machinery end to end
+# ======================================================================
+
+def _mlp_setup(backend, abft, seed=0):
+    rng = np.random.default_rng(seed)
+    mlp = ParlooperMlp([64, 64, 64], 64, bm=16, bn=16, bk=16,
+                       backend=backend, abft=abft)
+    # integer weights/biases make correction bit-exact (ctor weights
+    # are normal floats whose checksums carry rounding noise)
+    for l, layer in enumerate(mlp.layers):
+        mlp.weights[l] = layer.gemm.pack_a(ints(rng, 64, 64))
+        mlp.biases[l] = ints(rng, 64)
+    x = ints(rng, 64, 64)
+    return mlp, x
+
+
+class TestMlpAbft:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_single_flip_detection_is_total(self, backend):
+        for seed in range(6):
+            mlp, x = _mlp_setup(backend, "detect")
+            with sdc_injection(SdcPlan.single_flip(seed=seed)) as inj:
+                with pytest.raises(SdcDetectedError):
+                    mlp.forward(x)
+            assert len(inj.flips) == 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_correction_restores_the_forward_pass(self, backend):
+        mlp, x = _mlp_setup(backend, "off")
+        golden = mlp.forward(x)
+        for seed in range(4):
+            mlp, x = _mlp_setup(backend, "correct")
+            with sdc_injection(SdcPlan.single_flip(seed=seed)) as inj:
+                out = mlp.forward(x)
+            assert len(inj.flips) == 1
+            assert np.array_equal(out, golden), f"seed {seed}"
+
+    def test_abft_knob_propagates_to_layers(self):
+        mlp, _ = _mlp_setup("interp", "detect")
+        assert mlp.abft == "detect"
+        assert all(layer.gemm.abft == "detect" for layer in mlp.layers)

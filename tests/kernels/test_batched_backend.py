@@ -56,6 +56,34 @@ class TestBackendKnob:
         with pytest.raises(ValueError, match="unknown backend"):
             ParlooperGemm(64, 64, 64, 32, 32, 32, backend="bogus")
 
+    def test_session_compile_validates_backend(self):
+        from repro.core import LoopSpecs
+        from repro.session import Session
+        with pytest.raises(ValueError) as exc:
+            Session().compile([LoopSpecs(0, 4, 1)], "a", backend="bogus")
+        # the error names every valid choice
+        assert "interp" in str(exc.value) and "batched" in str(exc.value)
+
+    def test_session_compile_validates_abft(self):
+        from repro.core import LoopSpecs
+        from repro.session import Session
+        with pytest.raises(ValueError) as exc:
+            Session().compile([LoopSpecs(0, 4, 1)], "a", abft="bogus")
+        for mode in ("off", "detect", "correct"):
+            assert mode in str(exc.value)
+
+    def test_session_compile_stamps_abft(self):
+        from repro.core import LoopSpecs
+        from repro.session import Session
+        loop = Session().compile([LoopSpecs(0, 4, 1)], "a", abft="detect")
+        assert loop.abft == "detect"
+
+    def test_kernel_ctor_validates_abft(self):
+        with pytest.raises(ValueError) as exc:
+            ParlooperGemm(64, 64, 64, 32, 32, 32, abft="bogus")
+        for mode in ("off", "detect", "correct"):
+            assert mode in str(exc.value)
+
 
 class TestEnumeration:
     """enumerate_inds reproduces the interpreter's emission order."""

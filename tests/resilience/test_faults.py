@@ -48,6 +48,22 @@ class TestWindows:
         w = FaultWindow(1.0, 2.0, 4.0)
         assert w.active(1.0) and not w.active(2.0)
 
+    def test_rejects_nan_bounds(self):
+        with pytest.raises(ValueError, match="NaN"):
+            FaultWindow(math.nan, 2.0, 1.0)
+        with pytest.raises(ValueError, match="NaN"):
+            FaultWindow(0.0, math.nan, 1.0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError, match="before t=0") as exc:
+            FaultWindow(-1.0, 2.0, 1.0)
+        assert "-1.0" in str(exc.value)     # the message names the window
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError, match="inverted") as exc:
+            FaultWindow(5.0, 2.0, 1.0)
+        assert "5.0" in str(exc.value) and "2.0" in str(exc.value)
+
     def test_next_boundary_skips_infinite_edges(self):
         plan = FaultPlan(capacity_windows=(
             FaultWindow(0.0, math.inf, 0.5), FaultWindow(3.0, 4.0, 0.2)))
@@ -124,13 +140,30 @@ class TestSampling:
 class TestReplicaFaultKinds:
     def test_kind_validation(self):
         assert REPLICA_FAULT_KINDS == ("death", "slowdown", "flaky",
-                                       "partition")
+                                       "partition", "sdc")
         with pytest.raises(ValueError, match="unknown ReplicaFault kind"):
             ReplicaFault(replica=0, at_s=1.0, kind="meltdown")
         with pytest.raises(ValueError, match="slowdown value"):
             ReplicaFault(replica=0, at_s=1.0, kind="slowdown", value=0.5)
         with pytest.raises(ValueError, match="flaky value"):
             ReplicaFault(replica=0, at_s=1.0, kind="flaky", value=1.5)
+        with pytest.raises(ValueError, match="sdc value"):
+            ReplicaFault(replica=0, at_s=1.0, kind="sdc", value=-0.1)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="NaN") as exc:
+            ReplicaFault(replica=0, at_s=math.nan)
+        assert "at_s" in str(exc.value)
+        with pytest.raises(ValueError, match="NaN") as exc:
+            ReplicaFault(replica=0, at_s=1.0, revive_s=math.nan)
+        assert "revive_s" in str(exc.value)
+        with pytest.raises(ValueError, match="before t=0"):
+            ReplicaFault(replica=0, at_s=-2.0)
+        with pytest.raises(ValueError, match="revives before"):
+            ReplicaFault(replica=0, at_s=5.0, revive_s=1.0)
+        with pytest.raises(ValueError, match="inverted"):
+            ReplicaFault(replica=0, at_s=5.0, kind="slowdown",
+                         until_s=2.0, value=2.0)
 
     def test_gray_property_and_window(self):
         death = ReplicaFault(replica=0, at_s=1.0)
@@ -221,11 +254,12 @@ class TestSampleGray:
         plan = FleetFaultPlan.sample_gray(
             seed=6, horizon_s=20.0, n_replicas=4, n_slowdowns=3,
             slowdown_mult=10.0, n_flaky=2, flaky_p=0.4, n_partitions=1,
-            n_deaths=1)
+            n_deaths=1, n_sdc=2, sdc_p=0.5)
         kinds = [g.kind for g in plan.grays]
         assert kinds.count("slowdown") == 3
         assert kinds.count("flaky") == 2
         assert kinds.count("partition") == 1
+        assert kinds.count("sdc") == 2
         assert len(plan.deaths) == 1
         for g in plan.grays:
             assert 0.0 <= g.at_s <= 20.0 and g.until_s > g.at_s
@@ -233,4 +267,32 @@ class TestSampleGray:
                 assert 1.0 <= g.value <= 10.0
             if g.kind == "flaky":
                 assert 0.0 <= g.value <= 0.4
+            if g.kind == "sdc":
+                assert 0.0 <= g.value <= 0.5
         assert plan.p_probe_loss == 0.02
+
+
+class TestSdcFolding:
+    def test_sdc_for_builds_replica_plan(self):
+        plan = FleetFaultPlan(seed=4, grays=(
+            ReplicaFault(replica=1, at_s=2.0, kind="sdc",
+                         until_s=8.0, value=0.7),))
+        assert plan.sdc_for(0) is None           # untouched replica
+        sp = plan.sdc_for(1)
+        assert sp is not None
+        # inside the window steps corrupt at the fault's rate; outside
+        # the flat p_step floor (zero) applies
+        hits_in = sum(sp.step_corrupts(i, now_s=5.0) for i in range(200))
+        hits_out = sum(sp.step_corrupts(i, now_s=9.0) for i in range(200))
+        assert 100 <= hits_in <= 180 and hits_out == 0
+
+    def test_sdc_for_is_deterministic_per_replica(self):
+        plan = FleetFaultPlan(seed=4, grays=(
+            ReplicaFault(replica=0, at_s=0.0, kind="sdc",
+                         until_s=9.0, value=0.5),
+            ReplicaFault(replica=1, at_s=0.0, kind="sdc",
+                         until_s=9.0, value=0.5),))
+        a = plan.sdc_for(0)
+        assert a == plan.sdc_for(0)              # replayable
+        b = plan.sdc_for(1)
+        assert a.seed != b.seed                  # replicas draw apart

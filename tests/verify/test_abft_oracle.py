@@ -1,0 +1,34 @@
+"""Differential ABFT oracle: checksum verdicts cross-checked against
+golden outputs, plus a clean fuzz sweep proving the thresholds never
+false-positive on either backend."""
+
+import os
+
+import pytest
+
+from repro.verify import clean_sweep, run_oracle
+
+N_CLEAN = int(os.environ.get("REPRO_FUZZ_CASES", "200"))
+
+
+@pytest.mark.fuzz
+class TestAbftOracle:
+    @pytest.mark.parametrize("backend", ("interp", "batched"))
+    def test_verdicts_match_golden_diffs(self, backend):
+        res = run_oracle(backend=backend, cases_per_kind=8)
+        assert res.ok, res.describe()
+        # every injected case must both flip and detect
+        assert res.detections == res.cases
+        assert res.clean_passes == res.cases
+
+    def test_oracle_is_deterministic(self):
+        a = run_oracle(cases_per_kind=3)
+        b = run_oracle(cases_per_kind=3)
+        assert (a.cases, a.detections, a.failures) \
+            == (b.cases, b.detections, b.failures)
+
+    @pytest.mark.parametrize("backend", ("interp", "batched"))
+    def test_clean_sweep_has_zero_false_positives(self, backend):
+        res = clean_sweep(n_cases=N_CLEAN, backend=backend)
+        assert res.ok, res.describe()
+        assert res.clean_passes == res.cases == N_CLEAN

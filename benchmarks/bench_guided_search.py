@@ -1,0 +1,115 @@
+"""Guided tuning: learned screen + beam search vs the exhaustive sweep.
+
+The learned path's promise (LoopTune-style, on this repo's substrate) is
+*the same winner for a fraction of the exact evaluations*: the ridge
+cost model ranks the whole candidate pool for the price of a matrix
+multiply, and the exact perf model only runs on the model's survivors
+plus short beam rounds of spec-edit neighborhoods.
+
+This bench runs the Fig 4-style GEMM sweep across the paper's four
+testbeds through the redesigned one-call API — ``tune(...,
+strategy="guided")`` vs ``strategy="exhaustive"`` — and asserts, per
+machine:
+
+* the guided top-1 **score** equals the exhaustive top-1 score (labels
+  may differ only across exact ties, which the stable sort breaks by
+  enumeration order);
+* exact evaluations shrink by at least ``REPRO_GUIDED_MIN_SAVINGS``
+  (default 10x; the ``n_model_evals``/``n_exact_evals`` split comes
+  straight from the :class:`~repro.tuner.tune.TuneReport`).
+
+Emits BENCH_GUIDED.json for the CI perf-smoke artifact.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench import ExperimentTable
+from repro.core import LoopSpecs
+from repro.platform import ADL, GVT3, SPR, ZEN4
+from repro.simulator import TraceCache, brgemm_event
+from repro.tpp.dtypes import DType
+from repro.tuner import TuningConstraints, tune
+
+MACHINES = [SPR, GVT3, ZEN4, ADL]   # the paper's four tuned testbeds
+M = N = K = 2048
+NUM_THREADS = 112
+SAMPLE_THREADS = 2
+POOL = 400          # enumerated candidates per machine
+EXACT_BUDGET = 32   # guided cap: 400/32 = 12.5x headroom over the gate
+
+
+def _workload():
+    bm = bn = bk = 64
+    Kb, Mb, Nb = K // bk, M // bm, N // bn
+    specs = [LoopSpecs(0, Kb, Kb), LoopSpecs(0, Mb, 1), LoopSpecs(0, Nb, 1)]
+    cons = TuningConstraints(max_occurrences={"a": 1, "b": 2, "c": 2},
+                             parallelizable=frozenset({"b", "c"}),
+                             max_candidates=POOL)
+
+    def body(ind):
+        ik, im, inn = ind
+        return brgemm_event(SPR, DType.F32, bm, bn, bk, Kb,
+                            [("A", im, k) for k in range(Kb)],
+                            [("B", inn, k) for k in range(Kb)],
+                            ("C", inn, im), beta=1.0, c_first_touch=True)
+
+    return specs, cons, body, 2.0 * M * N * K
+
+
+def test_guided_search_savings(benchmark):
+    min_savings = float(os.environ.get("REPRO_GUIDED_MIN_SAVINGS", "10.0"))
+    specs, cons, body, total_flops = _workload()
+    table = ExperimentTable(
+        "Guided vs exhaustive tuning — Fig 4 GEMM sweep, one-call "
+        "tune() API",
+        ["machine", "pool", "exh exact", "gd exact", "gd model",
+         "savings", "exh best", "gd best", "top-1"])
+
+    savings = []
+    for machine in MACHINES:
+        shared = dict(machine=machine, sim_body=body, constraints=cons,
+                      num_threads=NUM_THREADS,
+                      sample_threads=SAMPLE_THREADS,
+                      total_flops=total_flops)
+        exhaustive = tune(specs, strategy="exhaustive",
+                          trace_cache=TraceCache(), **shared)
+        guided = tune(specs, strategy="guided", exact_budget=EXACT_BUDGET,
+                      trace_cache=TraceCache(), **shared)
+
+        ratio = exhaustive.n_exact_evals / max(1, guided.n_exact_evals)
+        savings.append(ratio)
+        match = guided.best.score == exhaustive.best.score
+        table.add(machine.name, exhaustive.n_candidates,
+                  exhaustive.n_exact_evals, guided.n_exact_evals,
+                  guided.n_model_evals, f"{ratio:.1f}x",
+                  f"{exhaustive.best.score:.1f}",
+                  f"{guided.best.score:.1f}",
+                  "yes" if match else "NO")
+
+        assert match, (
+            f"{machine.name}: guided best {guided.best.score} != "
+            f"exhaustive best {exhaustive.best.score}")
+        assert guided.n_model_evals >= exhaustive.n_candidates, \
+            "the model should have screened at least the whole pool"
+
+    table.note(f"threshold: every machine >= {min_savings}x fewer exact "
+               "evals (REPRO_GUIDED_MIN_SAVINGS)")
+    table.note("top-1 compares scores: exact ties rank by enumeration "
+               "order, so labels may differ across tied specs")
+    table.show()
+    table.write_json("GUIDED",
+                     out_dir=os.environ.get("REPRO_BENCH_JSON_DIR", "."))
+
+    assert min(savings) >= min_savings, \
+        f"guided saved only {min(savings):.1f}x < required {min_savings}x"
+
+    # timed micro-run: one guided sweep on SPR, trace cache warm
+    tc = TraceCache()
+    shared = dict(machine=SPR, sim_body=body, constraints=cons,
+                  num_threads=NUM_THREADS, sample_threads=SAMPLE_THREADS,
+                  total_flops=total_flops, trace_cache=tc)
+    tune(specs, strategy="guided", exact_budget=EXACT_BUDGET, **shared)
+    benchmark(lambda: tune(specs, strategy="guided",
+                           exact_budget=EXACT_BUDGET, **shared))

@@ -1,58 +1,53 @@
-"""Auto-tune a GEMM's loop_spec_string with the Box-B2 generator and the
-Box-B3 performance model (Fig 1), then validate the winner with the full
-simulation engine — zero lines of kernel-code change across candidates.
+"""Auto-tune a GEMM's loop_spec_string through the one-call ``tune()``
+API — exhaustively (Box B2 generator + Box B3 perf model, Fig 1), then
+again with the learned guided path, which finds the same winner for a
+fraction of the exact evaluations.  Zero lines of kernel-code change
+across candidates; the winner is validated on the full engine.
 
 Run:  python examples/autotune_gemm.py
 """
 
-from repro.core import LoopSpecs
+import repro
 from repro.kernels import ParlooperGemm
 from repro.platform import SPR
-from repro.simulator import brgemm_event
 from repro.tpp.dtypes import DType
-from repro.tuner import (TuningConstraints, generate_candidates,
-                         perfmodel_evaluator, search)
+from repro.tuner import TuningConstraints
 
 M = N = K = 2048
 bm = bn = bk = 64
-Kb, Mb, Nb = K // bk, M // bm, N // bn
+kernel = ParlooperGemm(M, N, K, bm, bn, bk, dtype=DType.BF16,
+                       num_threads=112)
 
-specs = [LoopSpecs(0, Kb, Kb), LoopSpecs(0, Mb, 1), LoopSpecs(0, Nb, 1)]
-
-# the paper's §II-D constraint set: block b/c up to 3 times with
-# prime-factor prefix-product sizes, parallelize b/c, all permutations
+# the paper's §II-D constraint set: block b/c with prime-factor
+# prefix-product sizes, parallelize b/c, all permutations
 constraints = TuningConstraints(
     max_occurrences={"a": 1, "b": 2, "c": 2},
     parallelizable=frozenset({"b", "c"}),
-    max_candidates=48,
+    max_candidates=96,
 )
-candidates = generate_candidates(specs, constraints)
-print(f"generated {len(candidates)} loop_spec_string candidates")
 
+session = repro.Session(machine=SPR)
 
-def sim_body(ind):
-    ik, im, in_ = ind
-    return brgemm_event(SPR, DType.BF16, bm, bn, bk, Kb,
-                        [("A", im, k) for k in range(Kb)],
-                        [("B", in_, k) for k in range(Kb)],
-                        ("C", in_, im), beta=1.0, c_first_touch=True)
-
-
-result = search(candidates,
-                perfmodel_evaluator(specs, sim_body, SPR, num_threads=112,
-                                    sample_threads=2,
-                                    total_flops=2.0 * M * N * K))
-print(f"searched {result.evaluated} candidates in "
-      f"{result.wall_seconds:.1f}s (model-based, Box B3)\n")
+exhaustive = session.tune(kernel, constraints=constraints,
+                          sample_threads=2)
+print(f"exhaustive: {exhaustive.n_exact_evals} exact evals in "
+      f"{exhaustive.wall_seconds:.1f}s (model-based, Box B3)\n")
 
 print("top 5 by modeled score:")
-for o in result.top(5):
+for o in exhaustive.top(5):
     print(f"  {o.candidate.label():32s} {o.score:10,.0f} GF (modeled)")
 
-best = result.best.candidate
-kernel = ParlooperGemm(M, N, K, bm, bn, bk, dtype=DType.BF16,
-                       spec_string=best.spec_string,
-                       block_steps=best.block_steps, num_threads=112)
-measured = kernel.simulate(SPR)
+# the learned path: a ridge cost model screens the whole pool, exact
+# evaluations only go to its survivors + short spec-edit beam rounds
+guided = session.tune(kernel, constraints=constraints, sample_threads=2,
+                      strategy="guided")
+print(f"\nguided: same top-1 "
+      f"({guided.best.score == exhaustive.best.score}) with "
+      f"{guided.n_exact_evals} exact / {guided.n_model_evals} model "
+      f"evals vs {exhaustive.n_exact_evals} exact exhaustively")
+
+best = exhaustive.best.candidate
+winner = kernel.with_spec(best.spec_string, block_steps=best.block_steps)
+measured = winner.simulate(SPR)
 print(f"\nwinner {best.label()!r}: {measured.gflops:,.0f} GFLOPS on the "
       f"full engine ({100 * measured.gflops / SPR.peak_gflops(DType.BF16):.0f}% of SPR BF16 peak)")

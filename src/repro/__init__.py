@@ -28,7 +28,7 @@ Architectures"* (Georganas et al., IPDPS 2024):
   differential spec fuzzer.
 """
 
-from ._compat import ParlooperDeprecationWarning
+from ._compat import ParlooperDeprecationWarning, deprecated_call
 from .core import LoopSpecs, SpecError, ThreadedLoop
 from .kernels import (ConvSpec, ParlooperConv, ParlooperGemm, ParlooperMlp,
                       ParlooperSpmm)
@@ -36,11 +36,19 @@ from .obs import ObsConfig
 from .platform import ADL, GVT3, SPR, ZEN4, MachineModel
 from .serve import ServeSimulator, TrafficGenerator
 from .fleet import FleetSimulator
-from .session import Session, default_session, predict, search, simulate
+from .session import Session, default_session, predict, search, simulate, tune
 from .tpp import BCSCMatrix, BRGemmTPP, DType, Precision, Ptr
-from .tuner import TuningConstraints, generate_candidates
+from .tuner import TuneReport, TuningConstraints
+from .tuner import generate_candidates as _generate_candidates
 from .verify import (check_coverage, detect_races, run_fuzz, verify_nest,
                      VerificationError)
+
+#: deprecated top-level binding — enumeration stays public as
+#: ``repro.tuner.generate_candidates``; the one-call path is ``tune()``
+generate_candidates = deprecated_call(
+    "repro.generate_candidates()",
+    "Session.tune() / repro.tune() (or repro.tuner.generate_candidates "
+    "for the low-level enumerator)")(_generate_candidates)
 
 __version__ = "1.0.0"
 
@@ -64,7 +72,8 @@ __all__ = [
     # fleet
     "FleetSimulator",
     # tuner
-    "TuningConstraints", "generate_candidates", "search",
+    "TuningConstraints", "TuneReport", "tune",
+    "generate_candidates", "search",
     # verify
     "verify_nest", "detect_races", "check_coverage", "run_fuzz",
     "VerificationError",

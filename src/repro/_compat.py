@@ -17,7 +17,8 @@ from __future__ import annotations
 import functools
 import warnings
 
-__all__ = ["ParlooperDeprecationWarning", "renamed_kwarg"]
+__all__ = ["ParlooperDeprecationWarning", "renamed_kwarg",
+           "deprecated_call"]
 
 #: the release in which the deprecated spellings disappear
 _REMOVAL = "1.1"
@@ -49,6 +50,26 @@ def renamed_kwarg(old: str, new: str):
                     f"{_REMOVAL}", ParlooperDeprecationWarning,
                     stacklevel=2)
                 kwargs[new] = kwargs.pop(old)
+            return fn(*args, **kwargs)
+        return wrapper
+    return deco
+
+
+def deprecated_call(old: str, replacement: str):
+    """Mark a whole callable as deprecated in favour of *replacement*.
+
+    Wraps the function so every invocation warns with
+    :class:`ParlooperDeprecationWarning` (attributed to the caller, so
+    repro-internal use turns into an error under the test suite's
+    filterwarnings rule while downstream callers just see the notice).
+    """
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            warnings.warn(
+                f"{old} is deprecated, use {replacement} instead; "
+                f"it will be removed in {_REMOVAL}",
+                ParlooperDeprecationWarning, stacklevel=2)
             return fn(*args, **kwargs)
         return wrapper
     return deco

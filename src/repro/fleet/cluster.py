@@ -227,7 +227,7 @@ class FleetSimulator:
                  batcher=None, scheduler=None, block_tokens: int = 16,
                  mem_fraction: float = 0.9, obs=None,
                  initial_replicas: int | None = None, guard=None,
-                 costs: dict | None = None):
+                 costs: dict | None = None, tuner=None):
         machines = tuple(machines)
         if not machines:
             raise ServeConfigError(
@@ -262,6 +262,10 @@ class FleetSimulator:
         # models across *fleets* too — benchmark reruns and sweeps over
         # identical hardware re-price nothing at all
         self._costs: dict = costs if costs is not None else {}
+        #: one shared :class:`~repro.tuner.online.OnlineTuner` across
+        #: every replica's cost model — all machines pool one decision
+        #: cache and one growing EvalCache corpus
+        self.tuner = tuner
         self.replicas: list = []
         #: the FleetGuard of the last run (None: undefended) — the
         #: chaos harness audits its breakers/budget/hedge records
@@ -272,7 +276,8 @@ class FleetSimulator:
         key = machine.name
         if key not in self._costs:
             self._costs[key] = ServeCostModel.for_stack(
-                self.config, machine, self.stack_name, self.dtype)
+                self.config, machine, self.stack_name, self.dtype,
+                tuner=self.tuner)
         return self._costs[key]
 
     def _start_incarnation(self, replica, max_steps: int,

@@ -338,11 +338,15 @@ class ParlooperGemm:
 
     def with_spec(self, spec_string: str, block_steps=None,
                   num_threads=None) -> "ParlooperGemm":
-        """Zero-code-change re-instantiation (the auto-tuning contract)."""
+        """Zero-code-change re-instantiation (the auto-tuning contract).
+
+        The thread count carries over unless overridden — a retuned
+        kernel must stay comparable to the one it replaces."""
         return ParlooperGemm(
             self.M, self.N, self.K, self.bm, self.bn, self.bk,
             k_step=self.k_step, dtype=self.dtype, spec_string=spec_string,
-            num_threads=num_threads,
+            num_threads=num_threads if num_threads is not None
+            else self.num_threads,
             block_steps=block_steps if block_steps is not None
             else ((), (), ()),
             activation=self.activation, bias=self.bias, flat_b=self.flat_b,

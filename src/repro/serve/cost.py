@@ -88,8 +88,10 @@ class ServeCostModel(OpCostModel):
     @classmethod
     def for_stack(cls, config: LlmConfig, machine: MachineModel,
                   stack_name: str = "parlooper",
-                  dtype: DType = DType.BF16) -> "ServeCostModel":
-        return cls(machine, STACKS[stack_name], config=config, dtype=dtype)
+                  dtype: DType = DType.BF16,
+                  tuner=None) -> "ServeCostModel":
+        return cls(machine, STACKS[stack_name], config=config, dtype=dtype,
+                   tuner=tuner)
 
     # -- step pricing ---------------------------------------------------
     def step_seconds(self, prefill_chunks=(), decode_contexts=(),

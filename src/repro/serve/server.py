@@ -39,6 +39,7 @@ from dataclasses import asdict, dataclass
 
 from ..core.errors import DeadlockError, ServeConfigError, StepBudgetError
 from ..obs.context import current as _obs
+from ..obs.context import use as _use_obs
 from ..platform.machine import MachineModel
 from ..tpp.dtypes import DType
 from ..workloads.llm import LlmConfig
@@ -138,7 +139,7 @@ class ServeSimulator:
                  block_tokens: int = 16, mem_fraction: float = 0.9,
                  cost: ServeCostModel | None = None,
                  resilience=None, faults=None, sdc=None, obs=None,
-                 replica_id: int | None = None):
+                 replica_id: int | None = None, tuner=None):
         if not isinstance(block_tokens, int) or block_tokens <= 0:
             raise ServeConfigError(
                 f"block_tokens must be a positive integer, got "
@@ -151,8 +152,12 @@ class ServeSimulator:
         self.stack_name = stack_name
         # a shared cost model carries its engine-priced anchors across
         # runs (sweeps re-price nothing)
+        # an admission-time OnlineTuner threads into the cost model: new
+        # GEMM shapes get a tuned spec (and the shared EvalCache corpus
+        # grows) the first time serving prices them
         self.cost = cost if cost is not None else \
-            ServeCostModel.for_stack(config, machine, stack_name, dtype)
+            ServeCostModel.for_stack(config, machine, stack_name, dtype,
+                                     tuner=tuner)
         self.pool = PagedKvPool(config, machine, dtype,
                                 block_tokens=block_tokens,
                                 mem_fraction=mem_fraction)
@@ -303,10 +308,19 @@ class ServeSimulator:
         """One iteration of the event loop.  Returns ``False`` once
         nothing can change without external input: the run is drained,
         or every remaining local event is unknown (an external driver
-        must push work or the run is over)."""
+        must push work or the run is over).
+
+        The run's observability context is installed as ambient for the
+        extent of the call, so instrumentation sites reached *through*
+        the simulator (cost-model pricing, the admission-time tuner)
+        report into the same tracer/registry as the serve metrics."""
         st = self._st
         if st is None:
             raise ServeConfigError("advance() called before begin()")
+        with _use_obs(st.obs):
+            return self._advance(st)
+
+    def _advance(self, st) -> bool:
         if st.drained:
             return False
         metrics, obs, timing = st.metrics, st.obs, st.timing

@@ -24,6 +24,7 @@ are the process-global ones — existing code keeps its exact behavior.
 
 from __future__ import annotations
 
+from ._compat import deprecated_call
 from .core.cache import NestCache, global_nest_cache
 from .core.threaded_loop import ThreadedLoop
 from .obs import ObsConfig, use
@@ -32,9 +33,10 @@ from .simulator.memo import TraceCache, global_trace_cache
 from .simulator.perfmodel import predict as _predict
 from .tuner.evalcache import EvalCache
 from .tuner.search import search as _search
+from .tuner.tune import tune as _tune
 
 __all__ = ["Session", "default_session", "resolve_session",
-           "predict", "simulate", "search"]
+           "predict", "simulate", "search", "tune"]
 
 
 class Session:
@@ -179,9 +181,30 @@ class Session:
                              body_key=body_key)
 
     # -- tuner -------------------------------------------------------------
+    def tune(self, kernel_or_specs, machine=None, **kwargs):
+        """One-call tuning (:func:`repro.tuner.tune.tune`) through this
+        session's machine, caches and observability.
+
+        Replaces the classic ``generate_candidates`` → evaluator →
+        ``search`` three-call dance: pass a kernel (or bare spec
+        declarations plus ``sim_body=``), pick
+        ``strategy="exhaustive" | "screened" | "guided"``, and read the
+        returned :class:`~repro.tuner.tune.TuneReport`.  The session's
+        trace cache backs evaluation, and its eval cache absorbs
+        results whenever ``workload_sig=`` is given."""
+        kwargs.setdefault("trace_cache", self.trace_cache)
+        if "workload_sig" in kwargs:
+            kwargs.setdefault("eval_cache", self.eval_cache)
+        with self.activate():
+            return _tune(kernel_or_specs,
+                         machine=self._resolve_machine(machine), **kwargs)
+
     def search(self, candidates, evaluator, **kwargs):
         """A tuning sweep (:func:`repro.tuner.search.search`) reporting
-        into this session's tracer/metrics."""
+        into this session's tracer/metrics.
+
+        The classic low-level entry point; :meth:`tune` wraps candidate
+        generation, evaluator construction and this sweep in one call."""
         with self.activate():
             return _search(candidates, evaluator, **kwargs)
 
@@ -258,8 +281,18 @@ def simulate(loop, sim_body, machine, dispatch_overhead: bool = True,
                          trace_cache=trace_cache, body_key=body_key)
 
 
+def tune(kernel_or_specs, **kwargs):
+    """Module-level :func:`repro.tuner.tune.tune` over the default
+    session (``machine=`` is required there, since the default session
+    has none)."""
+    return default_session().tune(kernel_or_specs, **kwargs)
+
+
+@deprecated_call("repro.search()", "Session.tune() / repro.tune()")
 def search(candidates, evaluator, **kwargs):
-    """Module-level :func:`repro.tuner.search.search` over the default
-    session."""
+    """Deprecated module-level :func:`repro.tuner.search.search` over
+    the default session — the one-call :func:`tune` replaces the
+    generate/evaluate/search dance.  (The low-level engine stays public
+    as ``repro.tuner.search``.)"""
     with default_session().activate():
         return _search(candidates, evaluator, **kwargs)

@@ -7,7 +7,8 @@ from .lru import CacheHierarchy, LRUCache
 from .memo import TraceCache, global_trace_cache
 from .perfmodel import PerfPrediction, predict, predict_traces
 from .report import format_result, thread_balance
-from .reuse import CompiledTrace, ReuseStats, compile_trace, hit_levels
+from .reuse import (CompiledTrace, ReuseStats, compile_trace, hit_levels,
+                    stack_distances)
 from .trace import (Access, BodyEvent, ThreadTrace, trace_flat,
                     trace_threaded_loop)
 
@@ -16,6 +17,7 @@ __all__ = [
     "trace_threaded_loop",
     "LRUCache", "CacheHierarchy",
     "CompiledTrace", "ReuseStats", "compile_trace", "hit_levels",
+    "stack_distances",
     "TraceCache", "global_trace_cache",
     "brgemm_event", "spmm_event", "eltwise_event", "bandwidth_event",
     "PerfPrediction", "predict", "predict_traces",

@@ -45,7 +45,8 @@ import numpy as np
 
 from .trace import ThreadTrace
 
-__all__ = ["CompiledTrace", "ReuseStats", "compile_trace", "hit_levels"]
+__all__ = ["CompiledTrace", "ReuseStats", "compile_trace", "hit_levels",
+           "stack_distances"]
 
 
 @dataclass(frozen=True)
@@ -250,6 +251,28 @@ def hit_levels(key_ids, footprints, capacities, memo=None) -> tuple:
         stream = stream[miss]
         entry = None
     return levels, ReuseStats(tuple(accesses), tuple(hits), tuple(clamps))
+
+
+def stack_distances(key_ids, footprints) -> np.ndarray:
+    """Byte-weighted reuse (stack) distance of every access; -1 for cold.
+
+    The feature hook behind :mod:`repro.tuner.features`: the same
+    distances :func:`hit_levels` thresholds against capacities, exposed
+    raw so a learned cost model can summarize the whole locality profile
+    of a :class:`CompiledTrace` (histograms over distance) instead of
+    committing to one machine's hierarchy.  ``distance[i] <= C - w_i``
+    iff access ``i`` would hit an LRU cache of capacity ``C`` (with
+    unclamped weights), so per-capacity hit fractions derive from the
+    returned array by comparison alone.
+    """
+    key_ids = np.ascontiguousarray(key_ids, dtype=np.int64)
+    fp = np.ascontiguousarray(footprints, dtype=np.int64)
+    if np.any(fp <= 0):
+        raise ValueError("footprints must be positive")
+    prev, nxt = _prev_next(key_ids)
+    dist = _intervening_bytes(prev, nxt, fp)
+    dist[prev < 0] = -1
+    return dist
 
 
 def _prev_next(keys: np.ndarray) -> tuple:

@@ -1,13 +1,20 @@
-"""Auto-tuning infrastructure: constrained loop_spec_string generation and
-offline candidate search (Fig 1 Box B2, §II-D)."""
+"""Auto-tuning infrastructure: constrained loop_spec_string generation,
+offline candidate search (Fig 1 Box B2, §II-D), and the learned path —
+feature extraction, ridge cost model, model-guided beam search, and the
+one-call :func:`~repro.tuner.tune.tune` API (ROADMAP item 2)."""
 
 from .constraints import TuningConstraints, prefix_products, prime_factors
 from .evalcache import EvalCache
+from .features import FEATURE_VERSION, FeatureExtractor
 from .generator import Candidate, generate_candidates
+from .guided import GuidedResult, edit_neighbors, guided_search
+from .model import ModelVersionError, RidgeCostModel
+from .online import OnlineTuner, TuneDecision
 from .search import (RacyCandidate, SearchFailure, SearchResult, TuneOutcome,
                      engine_evaluator, perfmodel_evaluator, race_verifier,
                      search)
 from .timing import TuningCost
+from .tune import Evaluator, TuneReport, tune
 
 __all__ = [
     "TuningConstraints", "prime_factors", "prefix_products",
@@ -15,4 +22,9 @@ __all__ = [
     "TuneOutcome", "SearchResult", "SearchFailure", "RacyCandidate",
     "search", "perfmodel_evaluator", "engine_evaluator", "race_verifier",
     "EvalCache", "TuningCost",
+    "FEATURE_VERSION", "FeatureExtractor",
+    "RidgeCostModel", "ModelVersionError",
+    "GuidedResult", "guided_search", "edit_neighbors",
+    "OnlineTuner", "TuneDecision",
+    "Evaluator", "TuneReport", "tune",
 ]

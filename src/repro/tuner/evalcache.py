@@ -114,6 +114,87 @@ class EvalCache:
                     added += 1
         return added
 
+    def records(self) -> list:
+        """Parsed cache entries, oldest-insertion first.
+
+        Each record is a dict with ``spec_string``, ``block_steps``
+        (tuple of int tuples), ``machine_sig``, ``workload_sig``,
+        ``score``, ``seconds`` — the training-corpus view consumed by
+        :meth:`repro.tuner.model.RidgeCostModel.fit_cache`.  Keys are
+        ``spec::steps::machine::workload`` and spec strings never
+        contain double colons, so the split is unambiguous.
+        """
+        with self._lock:
+            items = list(self._data.items())
+        out = []
+        for key, entry in items:
+            parts = key.split("::", 3)
+            if len(parts) != 4:
+                continue
+            spec_string, steps, machine_sig, workload_sig = parts
+            block_steps = tuple(
+                tuple(int(x) for x in group.split(",")) if group else ()
+                for group in steps.split(";")) if steps else ()
+            out.append({"spec_string": spec_string,
+                        "block_steps": block_steps,
+                        "machine_sig": machine_sig,
+                        "workload_sig": workload_sig,
+                        "score": entry["score"],
+                        "seconds": entry["seconds"]})
+        return out
+
+    def export_jsonl(self, path: str) -> int:
+        """Write one JSON object per line — the interchange format for
+        shipping training corpora between machines and committing small
+        fixtures.  Lines are sorted by key so the file is diff-stable.
+        Returns how many records were written."""
+        with self._lock:
+            items = sorted(self._data.items())
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                for key, entry in items:
+                    fh.write(json.dumps({"key": key, **entry},
+                                        sort_keys=True) + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return len(items)
+
+    def import_jsonl(self, path: str) -> int:
+        """Merge records exported by :meth:`export_jsonl`; returns how
+        many were added (existing keys keep their current values —
+        imports warm-start, they never clobber fresher local results).
+        Malformed lines are skipped with a warning rather than killing
+        the sweep the corpus was meant to seed."""
+        added = skipped = 0
+        with open(path) as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                    key = rec["key"]
+                    entry = {"score": float(rec["score"]),
+                             "seconds": float(rec["seconds"])}
+                except (json.JSONDecodeError, KeyError, TypeError,
+                        ValueError):
+                    skipped += 1
+                    continue
+                with self._lock:
+                    if key not in self._data:
+                        self._data[key] = entry
+                        added += 1
+        if skipped:
+            warnings.warn(
+                f"{path}: skipped {skipped} malformed JSONL line(s)",
+                stacklevel=2)
+        return added
+
     def save(self, path: str | None = None) -> str:
         """Atomically persist the table as JSON; returns the path."""
         path = path or self.path

@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import time
+import traceback
 from dataclasses import dataclass
 
 from ..core.errors import ExecutionError, SpecError
@@ -45,6 +46,10 @@ class TuneOutcome:
     seconds: float            # predicted/simulated kernel time
     valid: bool = True
     error: str = ""
+    #: ``repr`` + formatted traceback of the failure.  Captured at raise
+    #: time because outcomes are the only thing that survives the fork
+    #: pool — the exception object itself dies with the worker.
+    traceback: str = ""
 
 
 @dataclass(frozen=True)
@@ -53,6 +58,9 @@ class SearchFailure:
 
     candidate: Candidate
     error: str
+    #: full formatted traceback (ending in ``repr(exc)``-style text) from
+    #: the raising process, fork-safe
+    traceback: str = ""
 
 
 @dataclass(frozen=True)
@@ -223,7 +231,8 @@ def _search(candidates, evaluator, top_k, workers, screen, screen_keep,
                     valid_idx.append(i)
                 else:
                     skipped += 1
-                    failures.append(SearchFailure(candidates[i], out.error))
+                    failures.append(SearchFailure(candidates[i], out.error,
+                                                  out.traceback))
             keep = max(1, math.ceil(len(valid_idx) * screen_keep))
             ranked_idx = sorted(valid_idx,
                                 key=lambda i: (-screened[i].score, i))
@@ -236,7 +245,8 @@ def _search(candidates, evaluator, top_k, workers, screen, screen_keep,
     for out in outcomes:
         if not out.valid:
             skipped += 1
-            failures.append(SearchFailure(out.candidate, out.error))
+            failures.append(SearchFailure(out.candidate, out.error,
+                                          out.traceback))
     wall = time.perf_counter() - t0
     ranked = tuple(sorted((o for o in outcomes if o.valid),
                           key=lambda o: o.score, reverse=True))
@@ -258,8 +268,9 @@ def _safe_eval(evaluator, candidate: Candidate) -> TuneOutcome:
         try:
             return evaluator(candidate)
         except (SpecError, ExecutionError) as exc:
+            tb = f"{traceback.format_exc()}\n{exc!r}"
             return TuneOutcome(candidate, float("-inf"), float("inf"),
-                               valid=False, error=str(exc))
+                               valid=False, error=str(exc), traceback=tb)
 
 
 def _evaluate(candidates, evaluator, workers) -> list:

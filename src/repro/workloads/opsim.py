@@ -33,6 +33,11 @@ class OpCostModel:
     machine: MachineModel
     stack: StackModel = STACKS["parlooper"]
     num_threads: int | None = None
+    #: optional :class:`~repro.tuner.online.OnlineTuner` — when set,
+    #: every engine-priced GEMM shape gets an admission-time spec pick
+    #: (model-screened, budgeted exact ladder) instead of the default
+    #: spec, and the evaluation lands in the tuner's EvalCache corpus
+    tuner: object = None
 
     def __post_init__(self):
         if self.num_threads is None:
@@ -85,6 +90,8 @@ class OpCostModel:
         Mr, Nr, Kr = (M // bm) * bm, (N // bn) * bn, (K // bk) * bk
         kernel = ParlooperGemm(Mr, Nr, Kr, bm, bn, bk, dtype=dtype,
                                num_threads=self.num_threads)
+        if self.tuner is not None:
+            kernel = self.tuner.retune(kernel, self.machine) or kernel
         res = kernel.simulate(self.machine)
         return res.seconds * (M * N * K) / (Mr * Nr * Kr)
 

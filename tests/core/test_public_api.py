@@ -40,7 +40,8 @@ API_SNAPSHOT = [
     # fleet
     "FleetSimulator",
     # tuner
-    "TuningConstraints", "generate_candidates", "search",
+    "TuningConstraints", "TuneReport", "tune",
+    "generate_candidates", "search",
     # verify
     "verify_nest", "detect_races", "check_coverage", "run_fuzz",
     "VerificationError",
@@ -131,3 +132,59 @@ class TestNthreadsShims:
             warnings.simplefilter("error", ParlooperDeprecationWarning)
             OpCostModel(SPR, num_threads=8)
             bert_inference_performance(BERT_BASE, SPR, num_threads=8)
+
+
+class TestTunerShims:
+    """The classic three-call tuning dance warns; ``tune()`` replaces it.
+
+    Only the *top-level* bindings are deprecated — the low-level engine
+    stays silent as ``repro.tuner.generate_candidates`` /
+    ``repro.tuner.search`` for code that composes its own sweeps.
+    """
+
+    CONSTRAINTS = repro.TuningConstraints(
+        max_occurrences={"a": 1, "b": 1, "c": 1},
+        parallelizable=frozenset("b"), max_candidates=8)
+
+    def _pool(self):
+        from repro.tuner import generate_candidates
+        g = repro.ParlooperGemm(128, 128, 128, num_threads=4)
+        return g, list(generate_candidates(g.gemm_loop.specs,
+                                           self.CONSTRAINTS))
+
+    def test_top_level_generate_candidates_warns(self):
+        g = repro.ParlooperGemm(128, 128, 128, num_threads=4)
+        with pytest.warns(ParlooperDeprecationWarning,
+                          match="generate_candidates.*deprecated"):
+            cands = repro.generate_candidates(g.gemm_loop.specs,
+                                              self.CONSTRAINTS)
+        assert list(cands)
+
+    def test_top_level_search_warns_and_matches_engine(self):
+        from repro.tuner import TuneOutcome
+        from repro.tuner import search as engine_search
+        _, cands = self._pool()
+        evaluator = lambda c: TuneOutcome(c, float(len(c.spec_string)), 1.0)
+        with pytest.warns(ParlooperDeprecationWarning,
+                          match="repro.search.*deprecated"):
+            old = repro.search(cands, evaluator)
+        new = engine_search(cands, evaluator)
+        assert [o.candidate.spec_string for o in old.outcomes] == \
+            [o.candidate.spec_string for o in new.outcomes]
+
+    def test_tuner_module_spellings_never_warn(self):
+        from repro.tuner import TuneOutcome
+        from repro.tuner import search as engine_search
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ParlooperDeprecationWarning)
+            _, cands = self._pool()
+            engine_search(cands, lambda c: TuneOutcome(c, 1.0, 1.0))
+
+    def test_session_tune_never_warns(self):
+        g = repro.ParlooperGemm(128, 128, 128, num_threads=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ParlooperDeprecationWarning)
+            report = repro.Session(machine=SPR).tune(
+                g, constraints=self.CONSTRAINTS)
+        assert report.strategy == "exhaustive"
+        assert report.best.valid

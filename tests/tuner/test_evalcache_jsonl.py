@@ -1,0 +1,86 @@
+"""EvalCache JSONL interchange and the records() training view."""
+
+import json
+
+import pytest
+
+from repro.core import LoopSpecs
+from repro.tuner import (Candidate, EvalCache, TuningConstraints,
+                         generate_candidates)
+
+SPECS = (LoopSpecs(0, 8, 8), LoopSpecs(0, 16, 1), LoopSpecs(0, 16, 1))
+CONS = TuningConstraints({"a": 1, "b": 2, "c": 2}, frozenset({"b", "c"}),
+                         max_candidates=16)
+
+
+def seeded_cache():
+    cache = EvalCache()
+    for i, cand in enumerate(generate_candidates(SPECS, CONS)):
+        cache.store(cache.key(cand, "spr", "wl"), 10.0 + i, 1e-3 * (i + 1))
+    return cache
+
+
+class TestRecords:
+    def test_round_trips_candidate_identity(self):
+        cache = seeded_cache()
+        recs = cache.records()
+        assert len(recs) == len(cache)
+        for rec in recs:
+            cand = Candidate(rec["spec_string"], rec["block_steps"])
+            assert cache.key(cand, rec["machine_sig"],
+                             rec["workload_sig"]) in cache._data
+            assert rec["score"] > 0 and rec["seconds"] > 0
+
+    def test_block_steps_parse_back_as_int_tuples(self):
+        cache = EvalCache()
+        cand = Candidate("aCBbc", ((), (4,), (8, 2)))
+        cache.store(cache.key(cand, "m", "w"), 1.0, 1.0)
+        rec = cache.records()[0]
+        assert rec["block_steps"] == ((), (4,), (8, 2))
+
+
+class TestJsonl:
+    def test_export_import_round_trip(self, tmp_path):
+        cache = seeded_cache()
+        path = str(tmp_path / "corpus.jsonl")
+        n = cache.export_jsonl(path)
+        assert n == len(cache)
+        clone = EvalCache()
+        assert clone.import_jsonl(path) == n
+        assert clone._data == cache._data
+
+    def test_export_is_sorted_and_diff_stable(self, tmp_path):
+        cache = seeded_cache()
+        a, b = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        cache.export_jsonl(a)
+        cache.export_jsonl(b)
+        assert open(a).read() == open(b).read()
+        keys = [json.loads(line)["key"] for line in open(a)]
+        assert keys == sorted(keys)
+
+    def test_import_never_clobbers_existing_entries(self, tmp_path):
+        cache = seeded_cache()
+        path = str(tmp_path / "corpus.jsonl")
+        cache.export_jsonl(path)
+        key = next(iter(cache._data))
+        cache._data[key] = {"score": 999.0, "seconds": 9.0}
+        assert cache.import_jsonl(path) == 0
+        assert cache._data[key]["score"] == 999.0
+
+    def test_malformed_lines_warn_and_are_skipped(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        good = json.dumps({"key": "aBC::::m::w", "score": 5.0,
+                           "seconds": 0.1})
+        path.write_text("not json at all\n" + good + "\n"
+                        + '{"key": "x::::m::w"}\n'
+                        + '{"score": 1.0, "seconds": 1.0}\n')
+        cache = EvalCache()
+        with pytest.warns(UserWarning, match="3 malformed"):
+            added = cache.import_jsonl(str(path))
+        assert added == 1
+        assert cache._data["aBC::::m::w"] == {"score": 5.0, "seconds": 0.1}
+
+    def test_blank_lines_are_fine(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text("\n\n")
+        assert EvalCache().import_jsonl(str(path)) == 0

@@ -1,0 +1,139 @@
+"""The ridge cost model: fit/predict/rank, persistence, versioning."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import LoopSpecs
+from repro.tuner import (EvalCache, FeatureExtractor, ModelVersionError,
+                         RidgeCostModel, TuningConstraints,
+                         generate_candidates)
+
+SPECS = (LoopSpecs(0, 8, 8), LoopSpecs(0, 16, 1), LoopSpecs(0, 16, 1))
+
+
+def synthetic(n=64, d=5, seed=7):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    # scores depend log-linearly on two features — exactly ridge's model
+    y = np.exp2(1.5 * X[:, 0] - 0.7 * X[:, 2] + 5.0)
+    return X, y
+
+
+class TestFit:
+    def test_recovers_ranking(self):
+        X, y = synthetic()
+        model = RidgeCostModel([f"f{i}" for i in range(X.shape[1])],
+                               alpha=1e-6)
+        model.fit(X, y)
+        pred = model.predict(X)
+        assert np.all(pred > 0)
+        # perfect feature-score correspondence -> near-perfect rank order
+        assert list(model.rank(X)[:3]) == list(np.argsort(-y)[:3])
+
+    def test_rejects_nonpositive_scores(self):
+        X, y = synthetic()
+        y[3] = 0.0
+        with pytest.raises(ValueError, match="positive"):
+            RidgeCostModel([f"f{i}" for i in range(X.shape[1])]).fit(X, y)
+
+    def test_rejects_wrong_width(self):
+        X, y = synthetic()
+        model = RidgeCostModel(["only", "two"])
+        with pytest.raises(ValueError):
+            model.fit(X, y)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            RidgeCostModel(["f0"]).predict(np.zeros((1, 1)))
+
+    def test_constant_features_are_harmless(self):
+        X, y = synthetic()
+        X[:, 4] = 3.0
+        model = RidgeCostModel([f"f{i}" for i in range(X.shape[1])])
+        model.fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_subsample_is_seeded(self):
+        X, y = synthetic(n=128)
+        names = [f"f{i}" for i in range(X.shape[1])]
+        a = RidgeCostModel(names, seed=3).fit(X, y, max_rows=32)
+        b = RidgeCostModel(names, seed=3).fit(X, y, max_rows=32)
+        np.testing.assert_array_equal(a.coef_, b.coef_)
+        assert a.n_fit_ == 32
+
+    def test_rank_breaks_ties_by_row_order(self):
+        X = np.zeros((4, 2))
+        model = RidgeCostModel(["f0", "f1"]).fit(
+            np.arange(8, dtype=float).reshape(4, 2), np.array([1., 2, 3, 4]))
+        assert list(model.rank(X)) == [0, 1, 2, 3]
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        X, y = synthetic()
+        names = [f"f{i}" for i in range(X.shape[1])]
+        model = RidgeCostModel(names, alpha=0.5, seed=9).fit(X, y)
+        path = model.save(str(tmp_path / "model.json"))
+        clone = RidgeCostModel.load(path)
+        np.testing.assert_array_equal(model.predict(X), clone.predict(X))
+        assert clone.names == names
+        assert clone.alpha == 0.5 and clone.n_fit_ == len(y)
+
+    def test_refuses_unfitted_save(self, tmp_path):
+        with pytest.raises(RuntimeError, match="unfitted"):
+            RidgeCostModel(["f0"]).save(str(tmp_path / "m.json"))
+
+    def test_refuses_foreign_file(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError, match="not a saved cost model"):
+            RidgeCostModel.load(str(path))
+
+    def test_refuses_stale_feature_version(self, tmp_path):
+        X, y = synthetic()
+        model = RidgeCostModel(
+            [f"f{i}" for i in range(X.shape[1])]).fit(X, y)
+        path = model.save(str(tmp_path / "model.json"))
+        blob = json.loads(open(path).read())
+        blob["feature_version"] = -1
+        open(path, "w").write(json.dumps(blob))
+        with pytest.raises(ModelVersionError, match="retrain"):
+            RidgeCostModel.load(path)
+
+
+class TestFitCache:
+    CONS = TuningConstraints({"a": 1, "b": 2, "c": 2},
+                             frozenset({"b", "c"}), max_candidates=24)
+
+    def _corpus(self):
+        cache = EvalCache()
+        cands = generate_candidates(SPECS, self.CONS)
+        for i, cand in enumerate(cands):
+            cache.store(cache.key(cand, "spr", "wl-a"),
+                        score=100.0 + i, seconds=1e-3)
+        return cache, cands
+
+    def test_trains_from_cache_records(self):
+        cache, cands = self._corpus()
+        ex = FeatureExtractor(base_specs=SPECS, num_threads=8)
+        model = RidgeCostModel(ex.names)
+        rows = model.fit_cache(cache, ex, machine_sig="spr")
+        assert rows == len(cands)
+        assert model.fitted
+        assert np.isfinite(model.predict(ex.vector(cands[0])))
+
+    def test_signature_filters(self):
+        cache, _ = self._corpus()
+        ex = FeatureExtractor(base_specs=SPECS, num_threads=8)
+        assert RidgeCostModel(ex.names).fit_cache(
+            cache, ex, machine_sig="other-machine") == 0
+        assert RidgeCostModel(ex.names).fit_cache(
+            cache, ex, workload_sig="wl-b") == 0
+
+    def test_empty_cache_leaves_model_unfitted(self):
+        ex = FeatureExtractor(base_specs=SPECS)
+        model = RidgeCostModel(ex.names)
+        assert model.fit_cache(EvalCache(), ex) == 0
+        assert not model.fitted
